@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks: one group per paper artifact, timing the
+//! bipartitioning methods the figures compare.
+//!
+//! These complement the wall-clock numbers of `fig5_time_profile` /
+//! `table1_geomeans` with statistically solid per-method timings on fixed
+//! representative matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_core::Method;
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{gen, Coo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn representative_matrices() -> Vec<(&'static str, Coo)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    vec![
+        ("laplace2d_40", gen::laplacian_2d(40, 40)),
+        ("rmat_s11", gen::rmat(11, 16_000, 0.57, 0.19, 0.19, &mut rng)),
+        ("termdoc_900x300", gen::term_document(900, 300, 8, &mut rng)),
+    ]
+}
+
+/// Fig 4 / Table I: volume-oriented methods, Mondriaan-like engine.
+fn bench_methods(c: &mut Criterion) {
+    let config = PartitionerConfig::mondriaan_like();
+    let mut group = c.benchmark_group("bipartition");
+    group.sample_size(10);
+    for (name, matrix) in representative_matrices() {
+        for method in Method::paper_set() {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), name),
+                &matrix,
+                |b, m| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        method.bipartition(m, 0.03, &config, &mut rng)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig 6 / Table II: the PaToH-like engine on the same inputs.
+fn bench_patoh_engine(c: &mut Criterion) {
+    let config = PartitionerConfig::patoh_like();
+    let mut group = c.benchmark_group("bipartition_patoh");
+    group.sample_size(10);
+    let matrix = gen::laplacian_2d(40, 40);
+    for method in [
+        Method::LocalBest { refine: false },
+        Method::MediumGrain { refine: false },
+        Method::MediumGrain { refine: true },
+        Method::FineGrain { refine: false },
+    ] {
+        group.bench_function(method.label(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                method.bipartition(&matrix, 0.03, &config, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table II: recursive bisection cost growth with p.
+fn bench_multiway(c: &mut Criterion) {
+    let config = PartitionerConfig::patoh_like();
+    let matrix = gen::laplacian_2d(32, 32);
+    let mut group = c.benchmark_group("recursive_bisection");
+    group.sample_size(10);
+    for p in [2u32, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("MG+IR", p), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                mg_core::recursive_bisection(
+                    &matrix,
+                    p,
+                    0.03,
+                    Method::MediumGrain { refine: true },
+                    &config,
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_patoh_engine, bench_multiway);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig 4 reproduction: performance profiles of communication volume for
+//! LB, LB+IR, MG, MG+IR, FG, FG+IR using the Mondriaan-like engine, over
+//! the full collection and per matrix class.
+//!
+//! Flags: `--scale smoke|default|large --runs N --threads N --seed N`.
+
+use mg_bench::experiments::{class_summary, fig4_profiles, standard_sweep};
+use mg_bench::{records_to_csv, write_artifact, CliOptions};
+
+fn main() {
+    let opts = CliOptions::parse();
+    eprintln!("fig4: sweeping (scale {:?}, {} runs)...", opts.scale, opts.runs);
+    let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
+    println!("collection classes: {}", class_summary(&records));
+    write_artifact("fig4_records.csv", &records_to_csv(&records));
+
+    for (name, profile) in fig4_profiles(&records) {
+        println!("\nFig 4 ({name}): communication volume profile");
+        println!("{}", profile.render_ascii(16));
+        write_artifact(&format!("fig4_{name}.csv"), &profile.to_csv());
+    }
+    println!("CSV artifacts written to {}", mg_bench::results_dir().display());
+}

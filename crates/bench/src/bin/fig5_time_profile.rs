@@ -1,0 +1,22 @@
+//! Fig 5 reproduction: performance profile of *partitioning time* for all
+//! six method configurations (Mondriaan-like engine, all matrices).
+//!
+//! Expected shape (paper): MG fastest (smaller hypergraph than FG, one run
+//! instead of LB's two), FG slowest, +IR variants ≈ 10% slower than their
+//! bases.
+
+use mg_bench::experiments::{fig5_time_profile, standard_sweep};
+use mg_bench::{records_to_csv, write_artifact, CliOptions};
+
+fn main() {
+    let opts = CliOptions::parse();
+    eprintln!("fig5: sweeping (scale {:?}, {} runs)...", opts.scale, opts.runs);
+    let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
+    write_artifact("fig5_records.csv", &records_to_csv(&records));
+
+    let profile = fig5_time_profile(&records);
+    println!("Fig 5: partitioning time profile (all matrices)");
+    println!("{}", profile.render_ascii(16));
+    write_artifact("fig5_time.csv", &profile.to_csv());
+    println!("CSV artifacts written to {}", mg_bench::results_dir().display());
+}

@@ -1,0 +1,36 @@
+//! Fig 6 reproduction: volume performance profiles using the *second*
+//! engine (PaToH-like preset) — (a) bipartitioning, (b) p = 64 by
+//! recursive bisection.
+//!
+//! The p = 64 sweep is 63 bisections per partitioning; with the default
+//! scale it is the most expensive experiment, so `--runs 1` is a reasonable
+//! choice there (the paper's conclusions are about curve ordering, which is
+//! stable).
+
+use mg_bench::experiments::{
+    fig4_profiles, multiway_volume_profile, patoh_multiway_sweep, patoh_sweep,
+};
+use mg_bench::{multiway_to_csv, records_to_csv, write_artifact, CliOptions};
+
+fn main() {
+    let opts = CliOptions::parse();
+    eprintln!(
+        "fig6a: PaToH-like sweep (scale {:?}, {} runs)...",
+        opts.scale, opts.runs
+    );
+    let records = patoh_sweep(opts.collection(), opts.runs, opts.threads);
+    write_artifact("fig6_records_p2.csv", &records_to_csv(&records));
+    // Subset "all" of the class-split profiles is Fig 6a.
+    let all_profile = &fig4_profiles(&records)[0].1;
+    println!("Fig 6a: volume profile, PaToH-like engine, p = 2");
+    println!("{}", all_profile.render_ascii(16));
+    write_artifact("fig6a_p2.csv", &all_profile.to_csv());
+
+    eprintln!("fig6b: PaToH-like p = 64 sweep (runs = 1)...");
+    let multiway = patoh_multiway_sweep(opts.collection(), 1, opts.threads, 64);
+    write_artifact("fig6_records_p64.csv", &multiway_to_csv(&multiway));
+    let profile64 = multiway_volume_profile(&multiway);
+    println!("Fig 6b: volume profile, PaToH-like engine, p = 64");
+    println!("{}", profile64.render_ascii(16));
+    write_artifact("fig6b_p64.csv", &profile64.to_csv());
+}

@@ -1,0 +1,26 @@
+//! Table I reproduction: geometric means of communication volume and
+//! partitioning time, normalised to LB (no IR), per matrix class.
+//!
+//! Paper values for reference (All row): volume LB 1.00, LB+IR 0.80,
+//! MG 0.81, MG+IR 0.73, FG 0.93, FG+IR 0.77; time LB 1.00, LB+IR 1.10,
+//! MG 0.62, MG+IR 0.72, FG 1.32, FG+IR 1.43.
+
+use mg_bench::experiments::{standard_sweep, table1_geomeans};
+use mg_bench::{records_to_csv, write_artifact, CliOptions};
+
+fn main() {
+    let opts = CliOptions::parse();
+    eprintln!(
+        "table1: sweeping (scale {:?}, {} runs)...",
+        opts.scale, opts.runs
+    );
+    let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
+    write_artifact("table1_records.csv", &records_to_csv(&records));
+
+    let (volume, time) = table1_geomeans(&records);
+    let vol_txt = volume.render("Table I (top) — Com.Vol. relative to LB");
+    let time_txt = time.render("Table I (bottom) — Time relative to LB");
+    println!("{vol_txt}\n{time_txt}");
+    write_artifact("table1_volume.csv", &volume.to_csv());
+    write_artifact("table1_time.csv", &time.to_csv());
+}

@@ -1,0 +1,26 @@
+//! Table II reproduction: geometric means of communication volume and BSP
+//! cost for p = 2 and p = 64 (PaToH-like engine), relative to LB.
+//!
+//! Paper values for reference: Vol p2 — LB 1.00, LB+IR 0.81, MG 0.76,
+//! MG+IR 0.67, FG 0.71, FG+IR 0.67; Vol p64 — 1.00 / 0.86 / 0.89 / 0.80 /
+//! 0.87 / 0.80 (costs track volumes closely).
+
+use mg_bench::experiments::{patoh_multiway_sweep, render_table2};
+use mg_bench::{multiway_to_csv, write_artifact, CliOptions};
+
+fn main() {
+    let opts = CliOptions::parse();
+    eprintln!(
+        "table2: PaToH-like p = 2 sweep (scale {:?}, {} runs)...",
+        opts.scale, opts.runs
+    );
+    let p2 = patoh_multiway_sweep(opts.collection(), opts.runs, opts.threads, 2);
+    write_artifact("table2_records_p2.csv", &multiway_to_csv(&p2));
+    eprintln!("table2: PaToH-like p = 64 sweep (runs = 1)...");
+    let p64 = patoh_multiway_sweep(opts.collection(), 1, opts.threads, 64);
+    write_artifact("table2_records_p64.csv", &multiway_to_csv(&p64));
+
+    let table = render_table2(&p2, &p64);
+    println!("{table}");
+    write_artifact("table2.txt", &table);
+}

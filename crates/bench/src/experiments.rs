@@ -1,0 +1,263 @@
+//! Library implementations of each paper experiment; the `src/bin/*`
+//! binaries are thin wrappers so integration tests can run everything at
+//! smoke scale.
+
+use crate::geomean::{normalized_geomean_table, GeomeanTable};
+use crate::profiles::{performance_profile, time_taus, volume_taus, PerformanceProfile};
+use crate::runner::{
+    class_label, pivot_records, run_multiway_sweep, run_sweep, MultiwayRecord, RunRecord,
+    SweepConfig,
+};
+use mg_collection::gd97b_twin;
+use mg_core::Method;
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::MatrixClass;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fig 3: repeated bipartitioning of the gd97_b twin. Returns, per method,
+/// (label, best volume, mean volume, hits-of-best count) over `runs` runs.
+pub fn fig3_gd97b(runs: u32) -> Vec<(String, u64, f64, u32)> {
+    let a = gd97b_twin();
+    let config = PartitionerConfig::mondriaan_like();
+    let methods = [
+        Method::RowNet { refine: false },
+        Method::ColumnNet { refine: false },
+        Method::FineGrain { refine: false },
+        Method::MediumGrain { refine: false },
+        Method::MediumGrain { refine: true },
+    ];
+    let mut rows = Vec::new();
+    for (mi, method) in methods.iter().enumerate() {
+        let mut best = u64::MAX;
+        let mut sum = 0u64;
+        let mut volumes = Vec::with_capacity(runs as usize);
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(0x61d97b ^ ((mi as u64) << 32) ^ run as u64);
+            let result = method.bipartition(&a, 0.03, &config, &mut rng);
+            best = best.min(result.volume);
+            sum += result.volume;
+            volumes.push(result.volume);
+        }
+        let hits = volumes.iter().filter(|&&v| v == best).count() as u32;
+        rows.push((
+            method.label().to_string(),
+            best,
+            sum as f64 / runs as f64,
+            hits,
+        ));
+    }
+    rows
+}
+
+/// Renders the Fig 3 rows as a text table.
+pub fn render_fig3(rows: &[(String, u64, f64, u32)], runs: u32) -> String {
+    let mut out = format!(
+        "Fig 3 — gd97_b twin (47x47, 264 nnz), best of {runs} runs, eps = 0.03\n\
+         (paper: row-net 31, column-net 31, fine-grain 12, medium-grain 11 = optimal)\n\n\
+         {:<8} {:>6} {:>9} {:>11}\n",
+        "method", "best", "mean", "hits-best"
+    );
+    for (label, best, mean, hits) in rows {
+        out.push_str(&format!("{label:<8} {best:>6} {mean:>9.2} {hits:>11}\n"));
+    }
+    out
+}
+
+/// The four Fig 4 subsets in paper order.
+pub fn fig4_subsets() -> [(&'static str, Option<MatrixClass>); 4] {
+    [
+        ("all", None),
+        ("square", Some(MatrixClass::SquareNonSymmetric)),
+        ("symmetric", Some(MatrixClass::Symmetric)),
+        ("rectangular", Some(MatrixClass::Rectangular)),
+    ]
+}
+
+/// Fig 4 (and Fig 6a with a PaToH-like sweep): volume profiles for the
+/// whole set and each class.
+pub fn fig4_profiles(records: &[RunRecord]) -> Vec<(String, PerformanceProfile)> {
+    fig4_subsets()
+        .into_iter()
+        .map(|(name, class)| {
+            let filtered: Vec<RunRecord> = records
+                .iter()
+                .filter(|r| class.is_none_or(|c| r.class == c))
+                .cloned()
+                .collect();
+            let (methods, values, _) = pivot_records(&filtered, |r| r.volume_avg);
+            (
+                name.to_string(),
+                performance_profile(&methods, &values, &volume_taus()),
+            )
+        })
+        .collect()
+}
+
+/// Fig 5: partitioning-time profile over all matrices.
+pub fn fig5_time_profile(records: &[RunRecord]) -> PerformanceProfile {
+    let (methods, values, _) = pivot_records(records, |r| r.time_avg_s.max(1e-9));
+    performance_profile(&methods, &values, &time_taus())
+}
+
+/// Table I: normalised geomeans of volume and time, rows Rec/Sym/Sqr/All,
+/// baseline LB.
+pub fn table1_geomeans(records: &[RunRecord]) -> (GeomeanTable, GeomeanTable) {
+    let rows = ["Rec", "Sym", "Sqr"].map(String::from).to_vec();
+    let (methods, volumes, groups) = pivot_records(records, |r| r.volume_avg);
+    let baseline = methods
+        .iter()
+        .position(|m| m == "LB")
+        .expect("LB must be part of the sweep");
+    let volume_table = normalized_geomean_table(&methods, &volumes, &groups, &rows, baseline);
+    let (_, times, _) = pivot_records(records, |r| r.time_avg_s.max(1e-9));
+    let time_table = normalized_geomean_table(&methods, &times, &groups, &rows, baseline);
+    (volume_table, time_table)
+}
+
+/// Table II: normalised geomeans of volume and BSP cost for a p-way sweep,
+/// single `All` row per metric, baseline LB.
+pub fn table2_rows(records: &[MultiwayRecord]) -> (Vec<String>, Vec<f64>, Vec<f64>) {
+    // Pivot manually (MultiwayRecord is not a RunRecord).
+    let mut methods: Vec<String> = Vec::new();
+    let mut matrices: Vec<&str> = Vec::new();
+    for r in records {
+        if !methods.contains(&r.method) {
+            methods.push(r.method.clone());
+        }
+        if !matrices.contains(&r.matrix.as_str()) {
+            matrices.push(&r.matrix);
+        }
+    }
+    methods.sort_by_key(|m| crate::runner::method_order_key(m));
+    let mut volume = vec![vec![f64::INFINITY; matrices.len()]; methods.len()];
+    let mut cost = vec![vec![f64::INFINITY; matrices.len()]; methods.len()];
+    for r in records {
+        let m = methods.iter().position(|x| *x == r.method).expect("known");
+        let c = matrices.iter().position(|x| *x == r.matrix).expect("known");
+        volume[m][c] = r.volume_avg;
+        cost[m][c] = r.bsp_cost_avg;
+    }
+    let baseline = methods
+        .iter()
+        .position(|m| m == "LB")
+        .expect("LB must be part of the sweep");
+    let geo = |values: &Vec<Vec<f64>>| -> Vec<f64> {
+        methods
+            .iter()
+            .enumerate()
+            .map(|(m, _)| {
+                let ratios: Vec<f64> = (0..matrices.len())
+                    .filter(|&c| values[baseline][c] > 0.0)
+                    .map(|c| values[m][c] / values[baseline][c])
+                    .collect();
+                crate::geomean::geometric_mean(&ratios)
+            })
+            .collect()
+    };
+    let vol_row = geo(&volume);
+    let cost_row = geo(&cost);
+    (methods, vol_row, cost_row)
+}
+
+/// Renders Table II from p = 2 and p = 64 sweeps.
+pub fn render_table2(p2: &[MultiwayRecord], p64: &[MultiwayRecord]) -> String {
+    let mut out = String::from(
+        "Table II — geometric means relative to LB (PaToH-like engine)\n\n",
+    );
+    let (methods, vol2, cost2) = table2_rows(p2);
+    let (_, vol64, cost64) = table2_rows(p64);
+    out.push_str(&format!("{:>9}", "metric"));
+    for m in &methods {
+        out.push_str(&format!("{m:>9}"));
+    }
+    out.push('\n');
+    for (label, row) in [
+        ("Vol p2", &vol2),
+        ("Cost p2", &cost2),
+        ("Vol p64", &vol64),
+        ("Cost p64", &cost64),
+    ] {
+        out.push_str(&format!("{label:>9}"));
+        for v in row {
+            out.push_str(&format!("{v:>9.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: the standard Mondriaan-like sweep for Figs 4, 5 and
+/// Table I.
+pub fn standard_sweep(
+    collection: mg_collection::CollectionSpec,
+    runs: u32,
+    threads: usize,
+) -> Vec<RunRecord> {
+    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::mondriaan_like(), runs);
+    cfg.threads = threads;
+    run_sweep(&cfg)
+}
+
+/// Convenience: the PaToH-like sweep for Fig 6 / Table II.
+pub fn patoh_sweep(
+    collection: mg_collection::CollectionSpec,
+    runs: u32,
+    threads: usize,
+) -> Vec<RunRecord> {
+    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::patoh_like(), runs);
+    cfg.threads = threads;
+    run_sweep(&cfg)
+}
+
+/// Convenience: the PaToH-like p-way sweep for Fig 6b / Table II.
+pub fn patoh_multiway_sweep(
+    collection: mg_collection::CollectionSpec,
+    runs: u32,
+    threads: usize,
+    p: u32,
+) -> Vec<MultiwayRecord> {
+    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::patoh_like(), runs);
+    cfg.threads = threads;
+    run_multiway_sweep(&cfg, p)
+}
+
+/// Groups multiway records by class label and produces a volume profile —
+/// used for Fig 6b.
+pub fn multiway_volume_profile(records: &[MultiwayRecord]) -> PerformanceProfile {
+    let mut methods: Vec<String> = Vec::new();
+    let mut matrices: Vec<&str> = Vec::new();
+    for r in records {
+        if !methods.contains(&r.method) {
+            methods.push(r.method.clone());
+        }
+        if !matrices.contains(&r.matrix.as_str()) {
+            matrices.push(&r.matrix);
+        }
+    }
+    methods.sort_by_key(|m| crate::runner::method_order_key(m));
+    let mut values = vec![vec![f64::INFINITY; matrices.len()]; methods.len()];
+    for r in records {
+        let m = methods.iter().position(|x| *x == r.method).expect("known");
+        let c = matrices.iter().position(|x| *x == r.matrix).expect("known");
+        values[m][c] = r.volume_avg;
+    }
+    performance_profile(&methods, &values, &volume_taus())
+}
+
+/// A quick textual summary of which classes a record set covers; handy in
+/// binary output headers.
+pub fn class_summary(records: &[RunRecord]) -> String {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for r in records {
+        if seen.insert(&r.matrix) {
+            *counts.entry(class_label(r.class)).or_insert(0usize) += 1;
+        }
+    }
+    counts
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

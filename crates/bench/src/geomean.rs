@@ -1,0 +1,189 @@
+//! Normalised geometric means (the paper's Tables I and II).
+//!
+//! For every matrix, each method's value (volume, time, BSP cost) is
+//! normalised by the baseline method's value on the same matrix; the table
+//! entry is the geometric mean of those ratios over the matrix set. A value
+//! of 0.73 for MG+IR volume therefore reads "27% lower volume than
+//! localbest on average", matching the paper's phrasing.
+
+/// Geometric mean of positive values; ignores non-positive entries (a
+/// ratio can be 0 when a method finds a perfect partition — including it
+/// would zero the whole mean, so such pairs are skipped like the paper's
+/// zero-volume matrices).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for &v in values {
+        if v > 0.0 && v.is_finite() {
+            sum += v.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+/// A rendered geomean table: one row label per group (matrix class), one
+/// column per method.
+#[derive(Debug, Clone)]
+pub struct GeomeanTable {
+    /// Column (method) labels.
+    pub methods: Vec<String>,
+    /// Row (group) labels.
+    pub rows: Vec<String>,
+    /// `cells[r][m]` — normalised geomean of method `m` on group `r`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+/// Builds a normalised geomean table.
+///
+/// `values[m][c]` is method `m`'s value on case `c`; `groups[c]` names the
+/// row of case `c` (a row named `All` aggregating every case is appended);
+/// `baseline` indexes the normalising method. Cases where the baseline
+/// value is ≤ 0 are skipped.
+pub fn normalized_geomean_table(
+    methods: &[String],
+    values: &[Vec<f64>],
+    groups: &[String],
+    row_order: &[String],
+    baseline: usize,
+) -> GeomeanTable {
+    let num_cases = groups.len();
+    for v in values {
+        assert_eq!(v.len(), num_cases, "ragged value matrix");
+    }
+    let mut rows: Vec<String> = row_order.to_vec();
+    rows.push("All".to_string());
+
+    let mut cells = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut row_cells = Vec::with_capacity(methods.len());
+        for m in 0..methods.len() {
+            let ratios: Vec<f64> = (0..num_cases)
+                .filter(|&c| (row == "All" || &groups[c] == row) && values[baseline][c] > 0.0)
+                .map(|c| values[m][c] / values[baseline][c])
+                .collect();
+            row_cells.push(geometric_mean(&ratios));
+        }
+        cells.push(row_cells);
+    }
+    GeomeanTable {
+        methods: methods.to_vec(),
+        rows,
+        cells,
+    }
+}
+
+impl GeomeanTable {
+    /// Renders as an aligned text table with the per-row minimum marked `*`
+    /// (the paper bold-faces the best entry of each row).
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("{title}\n");
+        out.push_str(&format!("{:>6}", ""));
+        for m in &self.methods {
+            out.push_str(&format!("{m:>9}"));
+        }
+        out.push('\n');
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{row:>6}"));
+            let min = self.cells[r]
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            for &v in &self.cells[r] {
+                if v.is_finite() && (v - min).abs() < 5e-3 {
+                    out.push_str(&format!("{:>8.2}*", v));
+                } else {
+                    out.push_str(&format!("{v:>9.2}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV form: `group, method1, ...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("group");
+        for m in &self.methods {
+            out.push(',');
+            out.push_str(m);
+        }
+        out.push('\n');
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(row);
+            for &v in &self.cells[r] {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row and method label.
+    pub fn cell(&self, row: &str, method: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let m = self.methods.iter().position(|x| x == method)?;
+        Some(self.cells[r][m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+        // Non-positive entries skipped.
+        assert!((geometric_mean(&[0.0, 8.0, 2.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_column_is_one() {
+        let methods = s(&["LB", "MG"]);
+        let values = vec![vec![10.0, 20.0, 30.0], vec![5.0, 20.0, 15.0]];
+        let groups = s(&["Sym", "Sym", "Rec"]);
+        let t = normalized_geomean_table(&methods, &values, &groups, &s(&["Rec", "Sym"]), 0);
+        assert!((t.cell("All", "LB").unwrap() - 1.0).abs() < 1e-12);
+        // MG: ratios 0.5, 1.0, 0.5 → geomean = (0.25)^(1/3).
+        let expected = 0.25f64.powf(1.0 / 3.0);
+        assert!((t.cell("All", "MG").unwrap() - expected).abs() < 1e-9);
+        // Per-group rows.
+        assert!((t.cell("Rec", "MG").unwrap() - 0.5).abs() < 1e-12);
+        let sym_expected = 0.5f64.sqrt();
+        assert!((t.cell("Sym", "MG").unwrap() - sym_expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_cases_are_skipped() {
+        let methods = s(&["LB", "MG"]);
+        let values = vec![vec![0.0, 10.0], vec![3.0, 5.0]];
+        let groups = s(&["Sym", "Sym"]);
+        let t = normalized_geomean_table(&methods, &values, &groups, &s(&["Sym"]), 0);
+        assert!((t.cell("Sym", "MG").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_and_csv_contain_labels() {
+        let methods = s(&["LB", "MG"]);
+        let values = vec![vec![10.0], vec![5.0]];
+        let groups = s(&["Rec"]);
+        let t = normalized_geomean_table(&methods, &values, &groups, &s(&["Rec"]), 0);
+        let txt = t.render("Table I");
+        assert!(txt.contains("Table I"));
+        assert!(txt.contains("LB"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("group,LB,MG"));
+    }
+}

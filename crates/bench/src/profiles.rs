@@ -1,0 +1,217 @@
+//! Dolan–Moré performance profiles (the paper's Figs 4, 5, 6).
+//!
+//! For each test case, every method's value (communication volume or time)
+//! is divided by the best value over all methods; the profile of a method
+//! plots, for each factor τ, the fraction of cases on which the method was
+//! within τ of the best. Higher curves are better. Cases where the best
+//! value is 0 are removed, exactly as in the paper.
+
+/// A computed performance profile.
+#[derive(Debug, Clone)]
+pub struct PerformanceProfile {
+    /// Method labels, matching the row order of `fractions`.
+    pub labels: Vec<String>,
+    /// Sampled factors τ (the x axis).
+    pub taus: Vec<f64>,
+    /// `fractions[m][t]` — fraction of cases where method `m`'s value is
+    /// ≤ `taus[t]` × best.
+    pub fractions: Vec<Vec<f64>>,
+    /// Number of cases after removing zero-best ones.
+    pub cases: usize,
+}
+
+/// Computes a profile from `values[m][c]` (method × case). Cases where the
+/// minimum over methods is ≤ 0 are dropped (a volume of 0 cannot be
+/// represented as a ratio — same rule as the paper).
+pub fn performance_profile(
+    labels: &[String],
+    values: &[Vec<f64>],
+    taus: &[f64],
+) -> PerformanceProfile {
+    assert_eq!(labels.len(), values.len());
+    let num_methods = values.len();
+    let num_cases = values.first().map_or(0, |v| v.len());
+    for v in values {
+        assert_eq!(v.len(), num_cases, "ragged value matrix");
+    }
+
+    // Per-case best over methods, and the kept case indices.
+    let mut kept: Vec<(usize, f64)> = Vec::with_capacity(num_cases);
+    for c in 0..num_cases {
+        let best = values
+            .iter()
+            .map(|row| row[c])
+            .fold(f64::INFINITY, f64::min);
+        if best > 0.0 && best.is_finite() {
+            kept.push((c, best));
+        }
+    }
+
+    let mut fractions = vec![vec![0.0; taus.len()]; num_methods];
+    if !kept.is_empty() {
+        for (m, row) in fractions.iter_mut().enumerate() {
+            // Ratios for this method, sorted once; fraction ≤ τ by binary
+            // search.
+            let mut ratios: Vec<f64> = kept
+                .iter()
+                .map(|&(c, best)| values[m][c] / best)
+                .collect();
+            ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+            for (t, &tau) in taus.iter().enumerate() {
+                let count = ratios.partition_point(|&r| r <= tau + 1e-12);
+                row[t] = count as f64 / kept.len() as f64;
+            }
+        }
+    }
+
+    PerformanceProfile {
+        labels: labels.to_vec(),
+        taus: taus.to_vec(),
+        fractions,
+        cases: kept.len(),
+    }
+}
+
+/// The τ grid used for the paper's volume profiles: 1.0 … 2.0.
+pub fn volume_taus() -> Vec<f64> {
+    (0..=50).map(|i| 1.0 + i as f64 * 0.02).collect()
+}
+
+/// The τ grid used for the paper's time profile: 1 … 6.
+pub fn time_taus() -> Vec<f64> {
+    (0..=50).map(|i| 1.0 + i as f64 * 0.1).collect()
+}
+
+impl PerformanceProfile {
+    /// Renders the profile as a fixed-width ASCII chart, one letter per
+    /// method, plus a legend. Good enough to eyeball curve ordering in a
+    /// terminal or log file.
+    pub fn render_ascii(&self, height: usize) -> String {
+        let width = self.taus.len();
+        let mut grid = vec![vec![' '; width]; height];
+        let marks: Vec<char> = "ABCDEFGHIJ".chars().collect();
+        for (m, row) in self.fractions.iter().enumerate() {
+            let mark = marks[m % marks.len()];
+            for (t, &frac) in row.iter().enumerate() {
+                let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                let y = y.min(height - 1);
+                grid[y][t] = mark;
+            }
+        }
+        let mut out = String::new();
+        for (y, line) in grid.iter().enumerate() {
+            let frac = 1.0 - y as f64 / (height - 1) as f64;
+            out.push_str(&format!("{frac:5.2} |"));
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "      +{}\n       τ from {:.2} to {:.2} ({} cases)\n",
+            "-".repeat(width),
+            self.taus.first().copied().unwrap_or(1.0),
+            self.taus.last().copied().unwrap_or(1.0),
+            self.cases
+        ));
+        for (m, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!("       {} = {}\n", marks[m % marks.len()], label));
+        }
+        out
+    }
+
+    /// Serialises as CSV: `tau, method1, method2, ...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("tau");
+        for label in &self.labels {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for (t, &tau) in self.taus.iter().enumerate() {
+            out.push_str(&format!("{tau:.4}"));
+            for row in &self.fractions {
+                out.push_str(&format!(",{:.6}", row[t]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The fraction for a method at the τ closest to the requested value —
+    /// handy for tests ("at τ = 1.2, MG+IR covers ≥ x%").
+    pub fn fraction_at(&self, method: &str, tau: f64) -> Option<f64> {
+        let m = self.labels.iter().position(|l| l == method)?;
+        let t = self
+            .taus
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - tau).abs().partial_cmp(&(*b - tau).abs()).expect("finite")
+            })?
+            .0;
+        Some(self.fractions[m][t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dominant_method_has_fraction_one_at_tau_one() {
+        // Method A always best.
+        let values = vec![vec![1.0, 2.0, 3.0], vec![2.0, 2.0, 6.0]];
+        let p = performance_profile(&labels(&["A", "B"]), &values, &[1.0, 2.0]);
+        assert_eq!(p.fractions[0], vec![1.0, 1.0]);
+        // B matches on case 1 only at τ=1; within 2x everywhere.
+        assert!((p.fractions[1][0] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.fractions[1][1], 1.0);
+    }
+
+    #[test]
+    fn zero_best_cases_are_dropped() {
+        let values = vec![vec![0.0, 4.0], vec![5.0, 2.0]];
+        let p = performance_profile(&labels(&["A", "B"]), &values, &[1.0]);
+        assert_eq!(p.cases, 1);
+        // Only the second case remains; B is best there.
+        assert_eq!(p.fractions[1][0], 1.0);
+        assert_eq!(p.fractions[0][0], 0.0);
+    }
+
+    #[test]
+    fn fractions_are_monotone_in_tau() {
+        let values = vec![vec![3.0, 1.0, 7.0, 2.0], vec![1.0, 2.0, 5.0, 2.0]];
+        let p = performance_profile(&labels(&["A", "B"]), &values, &volume_taus());
+        for row in &p.fractions {
+            for w in row.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let values = vec![vec![1.0, 2.0], vec![2.0, 2.0]];
+        let p = performance_profile(&labels(&["MG", "LB"]), &values, &[1.0, 1.5, 2.0]);
+        let csv = p.to_csv();
+        assert!(csv.starts_with("tau,MG,LB\n"));
+        assert_eq!(csv.lines().count(), 4);
+        let art = p.render_ascii(10);
+        assert!(art.contains("A = MG"));
+    }
+
+    #[test]
+    fn fraction_at_finds_nearest_tau() {
+        let values = vec![vec![1.0, 1.0], vec![1.3, 1.0]];
+        let p = performance_profile(&labels(&["A", "B"]), &values, &volume_taus());
+        assert_eq!(p.fraction_at("A", 1.0), Some(1.0));
+        let b_at_12 = p.fraction_at("B", 1.2).unwrap();
+        assert!((b_at_12 - 0.5).abs() < 1e-9);
+        let b_at_14 = p.fraction_at("B", 1.4).unwrap();
+        assert_eq!(b_at_14, 1.0);
+        assert_eq!(p.fraction_at("missing", 1.0), None);
+    }
+}

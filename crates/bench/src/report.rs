@@ -1,0 +1,115 @@
+//! Shared plumbing for the experiment binaries: output directory, tiny CLI
+//! parsing, and file writing.
+
+use mg_collection::{CollectionScale, CollectionSpec};
+use std::path::PathBuf;
+
+/// Command-line options shared by all experiment binaries.
+///
+/// Recognised flags (all optional):
+/// `--scale smoke|default|large`, `--runs N`, `--threads N`, `--seed N`.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Collection scale.
+    pub scale: CollectionScale,
+    /// Runs per (matrix, method).
+    pub runs: u32,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Collection seed.
+    pub seed: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: CollectionScale::Default,
+            runs: 3,
+            threads: 0,
+            seed: CollectionSpec::default().seed,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`, panicking with a usage message on bad input.
+    pub fn parse() -> Self {
+        let mut opts = CliOptions::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| panic!("missing value after {}", args[*i - 1]))
+                    .clone()
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    opts.scale = match value(&mut i).as_str() {
+                        "smoke" => CollectionScale::Smoke,
+                        "default" => CollectionScale::Default,
+                        "large" => CollectionScale::Large,
+                        other => panic!("unknown scale {other:?} (smoke|default|large)"),
+                    }
+                }
+                "--runs" => opts.runs = value(&mut i).parse().expect("--runs takes an integer"),
+                "--threads" => {
+                    opts.threads = value(&mut i).parse().expect("--threads takes an integer")
+                }
+                "--seed" => opts.seed = value(&mut i).parse().expect("--seed takes an integer"),
+                other => panic!(
+                    "unknown flag {other:?}; expected --scale/--runs/--threads/--seed"
+                ),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The collection spec these options select.
+    pub fn collection(&self) -> CollectionSpec {
+        CollectionSpec {
+            seed: self.seed,
+            scale: self.scale,
+        }
+    }
+}
+
+/// Directory for experiment artifacts: `$MG_RESULTS_DIR` or `./results`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("MG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Writes an artifact into the results directory, returning its path.
+pub fn write_artifact(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = CliOptions::default();
+        assert_eq!(o.runs, 3);
+        assert_eq!(o.scale, CollectionScale::Default);
+    }
+
+    #[test]
+    fn artifacts_land_in_results_dir() {
+        std::env::set_var("MG_RESULTS_DIR", std::env::temp_dir().join("mg-test-results"));
+        let p = write_artifact("probe.txt", "hello");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        std::fs::remove_file(p).ok();
+        std::env::remove_var("MG_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,399 @@
+//! The parallel experiment runner.
+//!
+//! Runs every method of the paper's comparison over a (synthetic)
+//! collection, averaging communication volume and wall-clock partitioning
+//! time over several runs, exactly like §IV ("the average communication
+//! volume and partitioning time of 10 runs"). Matrices are distributed over
+//! worker threads with a shared atomic cursor; each individual partitioning
+//! run stays sequential, like the paper's.
+
+use mg_collection::{generate, CollectionEntry, CollectionSpec};
+use mg_core::{recursive_bisection, Method};
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{bsp_cost, Idx, MatrixClass};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Which collection to run on.
+    pub collection: CollectionSpec,
+    /// Load-imbalance parameter ε (the paper uses 0.03).
+    pub epsilon: f64,
+    /// Runs per (matrix, method); results are averaged.
+    pub runs: u32,
+    /// Master seed for the partitioning RNG streams.
+    pub seed: u64,
+    /// Engine preset (Mondriaan-like or PaToH-like).
+    pub engine: PartitionerConfig,
+    /// Methods to compare.
+    pub methods: Vec<Method>,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// The paper's standard sweep: six methods, ε = 0.03, given engine.
+    pub fn paper(collection: CollectionSpec, engine: PartitionerConfig, runs: u32) -> Self {
+        SweepConfig {
+            collection,
+            epsilon: 0.03,
+            runs,
+            seed: 0xB15EC7,
+            engine,
+            methods: Method::paper_set().to_vec(),
+            threads: 0,
+        }
+    }
+}
+
+/// One (matrix, method) measurement for p = 2.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Matrix name.
+    pub matrix: String,
+    /// Matrix class (paper's three-way split).
+    pub class: MatrixClass,
+    /// Matrix nonzero count.
+    pub nnz: usize,
+    /// Method label (`LB`, `MG+IR`, …).
+    pub method: String,
+    /// Mean communication volume over the runs.
+    pub volume_avg: f64,
+    /// Mean wall-clock partitioning time in seconds.
+    pub time_avg_s: f64,
+    /// Number of runs averaged.
+    pub runs: u32,
+}
+
+/// One (matrix, method) measurement for p-way recursive bisection.
+#[derive(Debug, Clone)]
+pub struct MultiwayRecord {
+    /// Matrix name.
+    pub matrix: String,
+    /// Matrix class.
+    pub class: MatrixClass,
+    /// Method label.
+    pub method: String,
+    /// Number of parts.
+    pub p: Idx,
+    /// Mean communication volume.
+    pub volume_avg: f64,
+    /// Mean BSP cost (fan-out + fan-in h-relations).
+    pub bsp_cost_avg: f64,
+    /// Mean wall-clock time in seconds.
+    pub time_avg_s: f64,
+}
+
+fn derive_seed(master: u64, matrix_index: usize, method_index: usize, run: u32) -> u64 {
+    // SplitMix-style mixing keeps streams independent.
+    let mut x = master
+        ^ (matrix_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((method_index as u64) << 40)
+        ^ ((run as u64) << 20);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Runs the p = 2 sweep, returning one record per (matrix, method), sorted
+/// by matrix name then method label.
+pub fn run_sweep(config: &SweepConfig) -> Vec<RunRecord> {
+    let entries = generate(&config.collection);
+    let records = Mutex::new(Vec::with_capacity(entries.len() * config.methods.len()));
+    let cursor = AtomicUsize::new(0);
+    let workers = worker_count(config.threads);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= entries.len() {
+                    break;
+                }
+                let entry = &entries[idx];
+                let mut local = Vec::with_capacity(config.methods.len());
+                for (mi, method) in config.methods.iter().enumerate() {
+                    let (volume_avg, time_avg_s) =
+                        measure_bipartition(entry, *method, config, idx, mi);
+                    local.push(RunRecord {
+                        matrix: entry.name.clone(),
+                        class: entry.class,
+                        nnz: entry.matrix.nnz(),
+                        method: method.label().to_string(),
+                        volume_avg,
+                        time_avg_s,
+                        runs: config.runs,
+                    });
+                }
+                records.lock().extend(local);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = records.into_inner();
+    out.sort_by(|a, b| (a.matrix.as_str(), a.method.as_str()).cmp(&(&b.matrix, &b.method)));
+    out
+}
+
+fn measure_bipartition(
+    entry: &CollectionEntry,
+    method: Method,
+    config: &SweepConfig,
+    matrix_index: usize,
+    method_index: usize,
+) -> (f64, f64) {
+    let mut volume_sum = 0.0f64;
+    let mut time_sum = 0.0f64;
+    for run in 0..config.runs {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(config.seed, matrix_index, method_index, run));
+        let start = Instant::now();
+        let result = method.bipartition(&entry.matrix, config.epsilon, &config.engine, &mut rng);
+        time_sum += start.elapsed().as_secs_f64();
+        volume_sum += result.volume as f64;
+    }
+    (
+        volume_sum / config.runs as f64,
+        time_sum / config.runs as f64,
+    )
+}
+
+/// Runs the p-way sweep (recursive bisection), additionally measuring the
+/// BSP cost of each partitioning (Table II).
+pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
+    let entries = generate(&config.collection);
+    let records = Mutex::new(Vec::with_capacity(entries.len() * config.methods.len()));
+    let cursor = AtomicUsize::new(0);
+    let workers = worker_count(config.threads);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= entries.len() {
+                    break;
+                }
+                let entry = &entries[idx];
+                let mut local = Vec::with_capacity(config.methods.len());
+                for (mi, method) in config.methods.iter().enumerate() {
+                    let mut volume_sum = 0.0;
+                    let mut cost_sum = 0.0;
+                    let mut time_sum = 0.0;
+                    for run in 0..config.runs {
+                        let mut rng = StdRng::seed_from_u64(derive_seed(
+                            config.seed,
+                            idx,
+                            mi,
+                            run,
+                        ));
+                        let start = Instant::now();
+                        let result = recursive_bisection(
+                            &entry.matrix,
+                            p,
+                            config.epsilon,
+                            *method,
+                            &config.engine,
+                            &mut rng,
+                        );
+                        time_sum += start.elapsed().as_secs_f64();
+                        volume_sum += result.volume as f64;
+                        cost_sum +=
+                            bsp_cost(&entry.matrix, &result.partition).total() as f64;
+                    }
+                    local.push(MultiwayRecord {
+                        matrix: entry.name.clone(),
+                        class: entry.class,
+                        method: method.label().to_string(),
+                        p,
+                        volume_avg: volume_sum / config.runs as f64,
+                        bsp_cost_avg: cost_sum / config.runs as f64,
+                        time_avg_s: time_sum / config.runs as f64,
+                    });
+                }
+                records.lock().extend(local);
+            });
+        }
+    })
+    .expect("multiway sweep worker panicked");
+
+    let mut out = records.into_inner();
+    out.sort_by(|a, b| (a.matrix.as_str(), a.method.as_str()).cmp(&(&b.matrix, &b.method)));
+    out
+}
+
+/// The paper's column order for method labels; unknown labels sort last,
+/// alphabetically.
+pub fn method_order_key(label: &str) -> (usize, String) {
+    const ORDER: [&str; 10] = [
+        "LB", "LB+IR", "MG", "MG+IR", "FG", "FG+IR", "RN", "RN+IR", "CN", "CN+IR",
+    ];
+    let rank = ORDER
+        .iter()
+        .position(|&x| x == label)
+        .unwrap_or(ORDER.len());
+    (rank, label.to_string())
+}
+
+/// Reshapes records into the method × case value matrices the profile and
+/// geomean code consume. Returns (method labels in the paper's column
+/// order, per-method values, per-case group labels), with cases ordered by
+/// first appearance.
+pub fn pivot_records<'a>(
+    records: &'a [RunRecord],
+    value: impl Fn(&RunRecord) -> f64,
+) -> (Vec<String>, Vec<Vec<f64>>, Vec<String>) {
+    let mut methods: Vec<String> = Vec::new();
+    let mut matrices: Vec<&'a str> = Vec::new();
+    for r in records {
+        if !methods.contains(&r.method) {
+            methods.push(r.method.clone());
+        }
+        if !matrices.contains(&r.matrix.as_str()) {
+            matrices.push(&r.matrix);
+        }
+    }
+    methods.sort_by_key(|m| method_order_key(m));
+    let mut values = vec![vec![f64::INFINITY; matrices.len()]; methods.len()];
+    let mut groups = vec![String::new(); matrices.len()];
+    for r in records {
+        let m = methods.iter().position(|x| *x == r.method).expect("known");
+        let c = matrices
+            .iter()
+            .position(|x| *x == r.matrix)
+            .expect("known");
+        values[m][c] = value(r);
+        groups[c] = class_label(r.class).to_string();
+    }
+    (methods, values, groups)
+}
+
+/// The paper's row labels for classes.
+pub fn class_label(class: MatrixClass) -> &'static str {
+    match class {
+        MatrixClass::Rectangular => "Rec",
+        MatrixClass::Symmetric => "Sym",
+        MatrixClass::SquareNonSymmetric => "Sqr",
+    }
+}
+
+/// CSV serialisation of p = 2 records.
+pub fn records_to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::from("matrix,class,nnz,method,volume_avg,time_avg_s,runs\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{:.3},{:.6},{}\n",
+            r.matrix,
+            class_label(r.class),
+            r.nnz,
+            r.method,
+            r.volume_avg,
+            r.time_avg_s,
+            r.runs
+        ));
+    }
+    out
+}
+
+/// CSV serialisation of multiway records.
+pub fn multiway_to_csv(records: &[MultiwayRecord]) -> String {
+    let mut out = String::from("matrix,class,method,p,volume_avg,bsp_cost_avg,time_avg_s\n");
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{:.3},{:.3},{:.6}\n",
+            r.matrix,
+            class_label(r.class),
+            r.method,
+            r.p,
+            r.volume_avg,
+            r.bsp_cost_avg,
+            r.time_avg_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_collection::CollectionScale;
+
+    fn tiny_config() -> SweepConfig {
+        let mut cfg = SweepConfig::paper(
+            CollectionSpec {
+                seed: 7,
+                scale: CollectionScale::Smoke,
+            },
+            PartitionerConfig::mondriaan_like(),
+            1,
+        );
+        cfg.methods = vec![
+            Method::LocalBest { refine: false },
+            Method::MediumGrain { refine: true },
+        ];
+        cfg
+    }
+
+    #[test]
+    fn sweep_covers_every_matrix_and_method() {
+        let cfg = tiny_config();
+        let records = run_sweep(&cfg);
+        let entries = generate(&cfg.collection);
+        assert_eq!(records.len(), entries.len() * cfg.methods.len());
+        for r in &records {
+            assert!(r.time_avg_s >= 0.0);
+            assert!(r.volume_avg >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        let one = run_sweep(&cfg);
+        cfg.threads = 4;
+        let four = run_sweep(&cfg);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.matrix, b.matrix);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.volume_avg, b.volume_avg, "{} {}", a.matrix, a.method);
+        }
+    }
+
+    #[test]
+    fn pivot_produces_consistent_matrix() {
+        let cfg = tiny_config();
+        let records = run_sweep(&cfg);
+        let (methods, values, groups) = pivot_records(&records, |r| r.volume_avg);
+        assert_eq!(methods.len(), 2);
+        assert_eq!(values[0].len(), groups.len());
+        assert!(values
+            .iter()
+            .all(|row| row.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cfg = tiny_config();
+        let records = run_sweep(&cfg);
+        let csv = records_to_csv(&records);
+        assert_eq!(csv.lines().count(), records.len() + 1);
+        assert!(csv.starts_with("matrix,class,nnz,method"));
+    }
+}

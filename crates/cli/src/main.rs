@@ -1,0 +1,235 @@
+//! `mgpart` — command-line front end for the medium-grain
+//! partitioning library (the role `Mondriaan` plays for the original C
+//! implementation).
+//!
+//! ```text
+//! mgpart partition <matrix.mtx> [-p N] [-e EPS] [-m METHOD] [-o out.mtx] [--seed S] [--spy]
+//! mgpart analyze   <matrix.mtx>
+//! mgpart generate  <family> [size] [-o out.mtx] [--seed S]
+//! mgpart volume    <distributed.mtx>
+//! mgpart help
+//! ```
+
+use mg_core::{recursive_bisection, Method};
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{
+    bsp_cost, communication_volume, dist_io, gen, io, load_imbalance, spy, spy_partitioned,
+    CommunicationReport, Coo, Idx, PatternStats,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+mod args;
+use args::Parsed;
+
+const USAGE: &str = "\
+mgpart — 2D sparse matrix partitioning (Pelt & Bisseling, IPDPS 2014)
+
+USAGE:
+  mgpart partition <matrix.mtx> [options]   bipartition / p-way partition
+  mgpart analyze   <matrix.mtx>             pattern statistics + spy plot
+  mgpart generate  <family> [size]          write a synthetic matrix
+  mgpart volume    <distributed.mtx>        metrics of a stored partition
+  mgpart help
+
+PARTITION OPTIONS:
+  -p N          number of parts (default 2; >2 uses recursive bisection)
+  -e EPS        load imbalance (default 0.03)
+  -m METHOD     mg | mg-ir | lb | lb-ir | fg | fg-ir | rn | cn  (default mg-ir)
+  -o FILE       write the distributed matrix (Mondriaan-style format)
+  --engine E    mondriaan | patoh  (default mondriaan)
+  --seed S      RNG seed (default 2014)
+  --spy         render a partition spy plot
+
+GENERATE FAMILIES:
+  laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
+  laplace3d [k]   7-point Laplacian on a k×k×k grid    (default k = 16)
+  rmat [scale]    RMAT power-law, 2^scale vertices     (default scale = 12)
+  random [n]      square Erdős–Rényi with diagonal     (default n = 2000)
+  gd97b           the paper's Fig 3 demonstration twin
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match command.as_str() {
+        "partition" => partition(&Parsed::parse(&argv[1..])?),
+        "analyze" => analyze(&Parsed::parse(&argv[1..])?),
+        "generate" => generate(&Parsed::parse(&argv[1..])?),
+        "volume" => volume(&Parsed::parse(&argv[1..])?),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `mgpart help`")),
+    }
+}
+
+fn method_from_name(name: &str) -> Result<Method, String> {
+    Ok(match name {
+        "mg" => Method::MediumGrain { refine: false },
+        "mg-ir" => Method::MediumGrain { refine: true },
+        "lb" => Method::LocalBest { refine: false },
+        "lb-ir" => Method::LocalBest { refine: true },
+        "fg" => Method::FineGrain { refine: false },
+        "fg-ir" => Method::FineGrain { refine: true },
+        "rn" => Method::RowNet { refine: false },
+        "cn" => Method::ColumnNet { refine: false },
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn engine_from_name(name: &str) -> Result<PartitionerConfig, String> {
+    Ok(match name {
+        "mondriaan" => PartitionerConfig::mondriaan_like(),
+        "patoh" => PartitionerConfig::patoh_like(),
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
+fn partition(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(0, "matrix file")?;
+    let a = io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+    let p: Idx = parsed.flag_parse("-p", 2)?;
+    let epsilon: f64 = parsed.flag_parse("-e", 0.03)?;
+    let method = method_from_name(&parsed.flag("-m", "mg-ir"))?;
+    let engine = engine_from_name(&parsed.flag("--engine", "mondriaan"))?;
+    let seed: u64 = parsed.flag_parse("--seed", 2014)?;
+    if p < 1 {
+        return Err("-p must be at least 1".into());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let partition = if p == 2 {
+        method.bipartition(&a, epsilon, &engine, &mut rng).partition
+    } else {
+        recursive_bisection(&a, p, epsilon, method, &engine, &mut rng).partition
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let report = CommunicationReport::compute(&a, &partition);
+    let cost = bsp_cost(&a, &partition);
+    println!(
+        "{path}: {}x{}, {} nonzeros -> {p} parts with {} in {elapsed:.3}s",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        method.label()
+    );
+    println!("  {}", report.render());
+    println!(
+        "  imbalance {:.4} (eps {epsilon}), BSP cost {} (fan-out {} + fan-in {})",
+        load_imbalance(&partition),
+        cost.total(),
+        cost.fanout_h,
+        cost.fanin_h
+    );
+    if parsed.has("--spy") {
+        println!("{}", spy_partitioned(&a, &partition, 72, 36));
+    }
+    if let Some(out) = parsed.flag_opt("-o") {
+        dist_io::write_distributed_file(&a, &partition, &out).map_err(|e| e.to_string())?;
+        println!("  written: {out}");
+    }
+    Ok(())
+}
+
+fn analyze(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(0, "matrix file")?;
+    let a = io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+    let s = PatternStats::compute(&a);
+    println!("{path}:");
+    println!("  size           {} x {}", s.rows, s.cols);
+    println!("  nonzeros       {}", s.nnz);
+    println!("  class          {}", s.class());
+    println!("  symmetry       {:.3}", s.pattern_symmetry);
+    println!("  density        {:.3e}", s.density());
+    println!("  avg row nnz    {:.2}", s.avg_row_nnz);
+    println!("  max row/col    {} / {}", s.max_row_nnz, s.max_col_nnz);
+    println!("  empty rows     {}", s.empty_rows);
+    println!("  empty cols     {}", s.empty_cols);
+    println!("  diagonal nnz   {}", s.diagonal_nnz);
+    println!("{}", spy(&a, 72, 36));
+    Ok(())
+}
+
+fn generate(parsed: &Parsed) -> Result<(), String> {
+    let family = parsed.positional(0, "generator family")?;
+    let seed: u64 = parsed.flag_parse("--seed", 2014)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size: Option<u64> = match parsed.positional(1, "") {
+        Ok(v) => Some(v.parse::<u64>().map_err(|e| format!("bad size: {e}"))?),
+        Err(_) => None,
+    };
+    let a: Coo = match family.as_str() {
+        "laplace2d" => {
+            let k = size.unwrap_or(64) as Idx;
+            gen::laplacian_2d(k, k)
+        }
+        "laplace3d" => {
+            let k = size.unwrap_or(16) as Idx;
+            gen::laplacian_3d(k, k, k)
+        }
+        "rmat" => {
+            let scale = size.unwrap_or(12) as u32;
+            gen::rmat(scale, 8usize << scale, 0.57, 0.19, 0.19, &mut rng)
+        }
+        "random" => {
+            let n = size.unwrap_or(2000) as Idx;
+            gen::erdos_renyi_square(n, 8 * n as usize, &mut rng)
+        }
+        "gd97b" => mg_collection::gd97b_twin(),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    let default_name = format!("{family}.mtx");
+    let out = parsed.flag("-o", &default_name);
+    io::write_matrix_market_file(&a, &out).map_err(|e| e.to_string())?;
+    println!(
+        "{out}: {}x{}, {} nonzeros ({})",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        PatternStats::compute(&a).class()
+    );
+    Ok(())
+}
+
+fn volume(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.positional(0, "distributed matrix file")?;
+    let (a, partition) = dist_io::read_distributed_file(path).map_err(|e| e.to_string())?;
+    let report = CommunicationReport::compute(&a, &partition);
+    let cost = bsp_cost(&a, &partition);
+    println!(
+        "{path}: {}x{}, {} nonzeros, {} parts",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        partition.num_parts()
+    );
+    println!("  {}", report.render());
+    println!(
+        "  volume check: {}",
+        communication_volume(&a, &partition)
+    );
+    println!(
+        "  imbalance {:.4}, BSP cost {}",
+        load_imbalance(&partition),
+        cost.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # mg-collection — the synthetic evaluation collection
+//!
+//! The paper evaluates on 2264 matrices (500 – 5·10⁶ nonzeros) from the
+//! University of Florida sparse matrix collection, split into three classes:
+//! 582 rectangular, 1007 structurally symmetric, 675 square non-symmetric.
+//! That collection cannot be redistributed here, so this crate generates a
+//! *deterministic* population with the same class mix (≈26% / 44% / 30%)
+//! and a comparable diversity of structure, drawn from the twelve generator
+//! families of [`mg_sparse::gen`] (see DESIGN.md §5 for the substitution
+//! argument).
+//!
+//! Everything is a pure function of the [`CollectionSpec`] seed, so the
+//! whole experiment pipeline is reproducible bit-for-bit.
+
+pub mod gd97b;
+pub mod suite;
+
+pub use gd97b::gd97b_twin;
+pub use suite::{generate, CollectionEntry, CollectionScale, CollectionSpec};

@@ -1,0 +1,213 @@
+//! Direct k-way greedy refinement of multiway nonzero partitions.
+//!
+//! Recursive bisection (§IV) optimises each split in isolation; once all
+//! `p` parts exist, single-nonzero moves *between arbitrary parts* can
+//! still reduce `Σ (λ−1)`. This pass — in the spirit of direct k-way
+//! refiners like kPaToH/UMPa, and an extension beyond the paper — greedily
+//! moves boundary nonzeros to the part with the best positive volume gain,
+//! under the eqn (1) budget, until a sweep finds no improving move.
+//!
+//! The gain of moving nonzero `(i, j)` from part `q` to part `r`
+//! decomposes per line:
+//! `gain = [rowcnt(i,q)=1] + [colcnt(j,q)=1] − [rowcnt(i,r)=0] − [colcnt(j,r)=0]`,
+//! maintained incrementally in two `(m+n)×p` count tables.
+
+use mg_sparse::{communication_volume, Coo, Idx, NonzeroPartition};
+
+/// Outcome of the k-way refinement pass.
+#[derive(Debug, Clone)]
+pub struct KwayOutcome {
+    /// The refined partition (volume ≤ input volume).
+    pub partition: NonzeroPartition,
+    /// Volume after refinement.
+    pub volume: u64,
+    /// Number of nonzero moves applied.
+    pub moves: u64,
+    /// Number of full sweeps performed.
+    pub sweeps: u32,
+}
+
+/// Greedily refines a p-way partition. `budget` caps every part's nonzero
+/// count (pass `mg_sparse::part_budget(a.nnz(), p, eps)`); `max_sweeps`
+/// bounds the outer loop (each sweep is `O(N · parts-per-line)`).
+pub fn kway_refine(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    budget: u64,
+    max_sweeps: u32,
+) -> KwayOutcome {
+    partition
+        .check_against(a)
+        .expect("partition does not match matrix");
+    let p = partition.num_parts() as usize;
+    let m = a.rows() as usize;
+    let n = a.cols() as usize;
+    let mut parts: Vec<Idx> = partition.parts().to_vec();
+
+    // Count tables and part sizes.
+    let mut row_cnt = vec![0u32; m * p];
+    let mut col_cnt = vec![0u32; n * p];
+    let mut sizes = vec![0u64; p];
+    for (k, &(i, j)) in a.entries().iter().enumerate() {
+        let q = parts[k] as usize;
+        row_cnt[i as usize * p + q] += 1;
+        col_cnt[j as usize * p + q] += 1;
+        sizes[q] += 1;
+    }
+
+    // Candidate target parts per nonzero: the parts already present on its
+    // row or column (any other target strictly increases both line λs).
+    let mut moves = 0u64;
+    let mut sweeps = 0u32;
+    let mut scratch: Vec<Idx> = Vec::with_capacity(p);
+
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        let mut improved = false;
+        for (k, &(i, j)) in a.entries().iter().enumerate() {
+            let q = parts[k] as usize;
+            let row = &row_cnt[i as usize * p..(i as usize + 1) * p];
+            let col = &col_cnt[j as usize * p..(j as usize + 1) * p];
+
+            // Loss removed by leaving q (only if (i,j) is q's last nonzero
+            // on that line).
+            let leave = u32::from(row[q] == 1) + u32::from(col[q] == 1);
+            if leave == 0 {
+                continue; // interior nonzero: no move can gain
+            }
+            scratch.clear();
+            for (r, (&rc, &cc)) in row.iter().zip(col.iter()).enumerate() {
+                if r != q && (rc > 0 || cc > 0) {
+                    scratch.push(r as Idx);
+                }
+            }
+            let mut best: Option<(i64, Idx)> = None;
+            for &r in &scratch {
+                let ru = r as usize;
+                if sizes[ru] + 1 > budget {
+                    continue;
+                }
+                let enter = u32::from(row[ru] == 0) + u32::from(col[ru] == 0);
+                let gain = leave as i64 - enter as i64;
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, r));
+                }
+            }
+            if let Some((_, r)) = best {
+                let ru = r as usize;
+                row_cnt[i as usize * p + q] -= 1;
+                row_cnt[i as usize * p + ru] += 1;
+                col_cnt[j as usize * p + q] -= 1;
+                col_cnt[j as usize * p + ru] += 1;
+                sizes[q] -= 1;
+                sizes[ru] += 1;
+                parts[k] = r;
+                moves += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let partition = NonzeroPartition::new(partition.num_parts(), parts)
+        .expect("parts stay within range");
+    let volume = communication_volume(a, &partition);
+    KwayOutcome {
+        partition,
+        volume,
+        moves,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::Method;
+    use crate::recursive::recursive_bisection;
+    use mg_partitioner::PartitionerConfig;
+    use mg_sparse::part_budget;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn never_increases_volume_or_breaks_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = mg_sparse::gen::erdos_renyi(80, 80, 900, &mut rng);
+        for p in [3u32, 8] {
+            let parts: Vec<Idx> = (0..a.nnz()).map(|_| rng.gen_range(0..p)).collect();
+            let np = NonzeroPartition::new(p, parts).unwrap();
+            let before = communication_volume(&a, &np);
+            let budget = part_budget(a.nnz(), p, 0.2);
+            let out = kway_refine(&a, &np, budget, 16);
+            assert!(out.volume <= before, "p={p}: {} > {}", out.volume, before);
+            assert_eq!(out.volume, communication_volume(&a, &out.partition));
+            assert!(out.partition.part_sizes().iter().all(|&s| s <= budget));
+        }
+    }
+
+    #[test]
+    fn random_partition_improves_substantially() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = mg_sparse::gen::laplacian_2d(20, 20);
+        let parts: Vec<Idx> = (0..a.nnz()).map(|_| rng.gen_range(0..4)).collect();
+        let np = NonzeroPartition::new(4, parts).unwrap();
+        let before = communication_volume(&a, &np);
+        let out = kway_refine(&a, &np, part_budget(a.nnz(), 4, 0.1), 32);
+        assert!(
+            out.volume * 2 < before,
+            "random start {} barely improved to {}",
+            before,
+            out.volume
+        );
+        assert!(out.moves > 0);
+    }
+
+    #[test]
+    fn improves_or_preserves_recursive_bisection_output() {
+        let a = mg_sparse::gen::laplacian_3d(8, 8, 8);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rb = recursive_bisection(
+            &a,
+            8,
+            0.03,
+            Method::MediumGrain { refine: true },
+            &cfg,
+            &mut rng,
+        );
+        let out = kway_refine(&a, &rb.partition, part_budget(a.nnz(), 8, 0.03), 8);
+        assert!(out.volume <= rb.volume);
+    }
+
+    #[test]
+    fn zero_volume_partition_is_fixed_point() {
+        // Block-diagonal split along blocks: nothing to improve.
+        let mut entries = Vec::new();
+        for b in 0..3u32 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    entries.push((3 * b + i, 3 * b + j));
+                }
+            }
+        }
+        let a = Coo::new(9, 9, entries).unwrap();
+        let parts: Vec<Idx> = a.iter().map(|(i, _)| i / 3).collect();
+        let np = NonzeroPartition::new(3, parts).unwrap();
+        let out = kway_refine(&a, &np, part_budget(a.nnz(), 3, 0.03), 8);
+        assert_eq!(out.volume, 0);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.partition, np);
+    }
+
+    #[test]
+    fn bipartition_case_agrees_with_metric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = mg_sparse::gen::chung_lu_symmetric(100, 900, 0.9, &mut rng);
+        let parts: Vec<Idx> = (0..a.nnz()).map(|k| (k % 2) as Idx).collect();
+        let np = NonzeroPartition::new(2, parts).unwrap();
+        let out = kway_refine(&a, &np, part_budget(a.nnz(), 2, 0.03), 8);
+        assert_eq!(out.volume, communication_volume(&a, &out.partition));
+    }
+}

@@ -1,0 +1,254 @@
+//! Parallel building blocks from the paper's §V.
+//!
+//! The paper sketches how to parallelise the medium-grain pipeline: the
+//! initial split only needs each nonzero's owner to know both scores
+//! `sr(i)` and `sc(j)`, so it is embarrassingly parallel once the counts
+//! are known; the volume metric is a sum over independent rows/columns.
+//! This module provides shared-memory versions of both, built on
+//! `crossbeam` scoped threads, with *bit-identical* results to the
+//! sequential implementations (verified by tests) — determinism is part of
+//! the contract, since experiment reproducibility depends on it.
+
+use crate::split::{GlobalPreference, Split};
+use mg_sparse::{Coo, Csc, Idx, NonzeroPartition};
+
+/// Evenly sized chunk ranges covering `0..len`.
+fn chunks(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    let pieces = pieces.max(1).min(len.max(1));
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for p in 0..pieces {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Parallel Algorithm 1 (without the post-pass): identical output to
+/// [`crate::split::split_with_preference`].
+///
+/// Phase 1 computes `nzr`/`nzc` by per-thread partial counts merged on the
+/// main thread ("broadcasting score values" in the paper's distributed
+/// formulation); phase 2 classifies each nonzero independently.
+pub fn parallel_split_with_preference(
+    a: &Coo,
+    preference: GlobalPreference,
+    threads: usize,
+) -> Split {
+    let threads = threads.max(1);
+    let entries = a.entries();
+    let ranges = chunks(entries.len(), threads);
+
+    // Phase 1: sharded counting.
+    let mut nzr = vec![0 as Idx; a.rows() as usize];
+    let mut nzc = vec![0 as Idx; a.cols() as usize];
+    let partials: Vec<(Vec<Idx>, Vec<Idx>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move |_| {
+                    let mut r = vec![0 as Idx; a.rows() as usize];
+                    let mut c = vec![0 as Idx; a.cols() as usize];
+                    for &(i, j) in &entries[range] {
+                        r[i as usize] += 1;
+                        c[j as usize] += 1;
+                    }
+                    (r, c)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("count worker")).collect()
+    })
+    .expect("count scope");
+    for (r, c) in &partials {
+        for (acc, &v) in nzr.iter_mut().zip(r) {
+            *acc += v;
+        }
+        for (acc, &v) in nzc.iter_mut().zip(c) {
+            *acc += v;
+        }
+    }
+
+    // Phase 2: independent classification.
+    let mut in_row = vec![false; entries.len()];
+    crossbeam::scope(|scope| {
+        // Split the output buffer along the same ranges so each worker
+        // owns its slice exclusively.
+        let mut rest: &mut [bool] = &mut in_row;
+        let nzr = &nzr;
+        let nzc = &nzc;
+        for range in &ranges {
+            let (mine, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            scope.spawn(move |_| {
+                for (slot, &(i, j)) in mine.iter_mut().zip(&entries[range]) {
+                    let r = nzr[i as usize];
+                    let c = nzc[j as usize];
+                    *slot = if c == 1 {
+                        true
+                    } else if r == 1 {
+                        false
+                    } else if r < c {
+                        true
+                    } else if r > c {
+                        false
+                    } else {
+                        preference == GlobalPreference::Rows
+                    };
+                }
+            });
+        }
+    })
+    .expect("classify scope");
+
+    Split::from_assignment(in_row)
+}
+
+/// Parallel communication volume: rows and columns are independent, so the
+/// two λ scans run as parallel shards over disjoint row/column blocks.
+/// Identical result to [`mg_sparse::communication_volume`].
+pub fn parallel_communication_volume(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    threads: usize,
+) -> u64 {
+    partition.check_against(a).expect("partition matches matrix");
+    let threads = threads.max(1);
+    let p = partition.num_parts() as usize;
+
+    // Row side: the canonical order is row-major, but a chunk boundary can
+    // split a row; shard by *row ranges* instead, locating the entry span
+    // of each row range by binary search.
+    let entries = a.entries();
+    let row_ranges = chunks(a.rows() as usize, threads);
+    let col_ranges = chunks(a.cols() as usize, threads);
+    let csc = Csc::from_coo(a);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for rows in row_ranges {
+            let handle = scope.spawn(move |_| {
+                let lo = entries.partition_point(|&(i, _)| (i as usize) < rows.start);
+                let hi = entries.partition_point(|&(i, _)| (i as usize) < rows.end);
+                let mut stamp = vec![Idx::MAX; p];
+                let mut volume = 0u64;
+                let mut current = Idx::MAX;
+                let mut lambda = 0u64;
+                for (k, &(i, _)) in entries.iter().enumerate().take(hi).skip(lo) {
+                    if i != current {
+                        volume += lambda.saturating_sub(1);
+                        lambda = 0;
+                        current = i;
+                    }
+                    let q = partition.part_of(k) as usize;
+                    if stamp[q] != i {
+                        stamp[q] = i;
+                        lambda += 1;
+                    }
+                }
+                volume + lambda.saturating_sub(1)
+            });
+            handles.push(handle);
+        }
+        let csc = &csc;
+        for cols in col_ranges {
+            let handle = scope.spawn(move |_| {
+                let mut stamp = vec![Idx::MAX; p];
+                let mut volume = 0u64;
+                for j in cols {
+                    let mut lambda = 0u64;
+                    for &k in csc.col_nonzero_ids(j as Idx) {
+                        let q = partition.part_of(k as usize) as usize;
+                        if stamp[q] != j as Idx {
+                            stamp[q] = j as Idx;
+                            lambda += 1;
+                        }
+                    }
+                    volume += lambda.saturating_sub(1);
+                }
+                volume
+            });
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("volume worker"))
+            .sum()
+    })
+    .expect("volume scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_with_preference;
+    use mg_sparse::communication_volume;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(seed: u64) -> Coo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mg_sparse::gen::erdos_renyi(300, 200, 4000, &mut rng)
+    }
+
+    #[test]
+    fn parallel_split_matches_sequential() {
+        let a = random_matrix(1);
+        for pref in [GlobalPreference::Rows, GlobalPreference::Columns] {
+            let seq = split_with_preference(&a, pref);
+            for threads in [1, 2, 3, 8] {
+                let par = parallel_split_with_preference(&a, pref, threads);
+                assert_eq!(seq, par, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_volume_matches_sequential() {
+        let a = random_matrix(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in [2u32, 5] {
+            let parts: Vec<Idx> = (0..a.nnz()).map(|_| rng.gen_range(0..p)).collect();
+            let np = NonzeroPartition::new(p, parts).unwrap();
+            let seq = communication_volume(&a, &np);
+            for threads in [1, 2, 4, 7] {
+                assert_eq!(
+                    parallel_communication_volume(&a, &np, threads),
+                    seq,
+                    "p = {p}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 100] {
+            for pieces in [1usize, 2, 3, 16] {
+                let ranges = chunks(len, pieces);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_parallel_paths() {
+        let a = Coo::empty(5, 5);
+        let split = parallel_split_with_preference(&a, GlobalPreference::Rows, 4);
+        assert_eq!(split.assignment().len(), 0);
+        let np = NonzeroPartition::new(2, vec![]).unwrap();
+        assert_eq!(parallel_communication_volume(&a, &np, 4), 0);
+    }
+}

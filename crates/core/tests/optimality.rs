@@ -1,0 +1,124 @@
+//! Ground-truth tests against brute-force optimal bipartitions.
+//!
+//! For matrices small enough to enumerate every balanced bipartition of the
+//! nonzeros, the optimal communication volume is known exactly. The
+//! medium-grain method (best of a few seeds, with IR) must land on or very
+//! near it — the small-scale analogue of Fig 3, where MG found the proven
+//! optimum of gd97_b.
+
+use mg_core::Method;
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{communication_volume, part_budget, Coo, Idx, NonzeroPartition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Brute-force optimal volume over all bipartitions satisfying eqn (1).
+fn optimal_volume(a: &Coo, epsilon: f64) -> u64 {
+    let n = a.nnz();
+    assert!(n <= 16, "brute force is exponential");
+    let budget = part_budget(n, 2, epsilon);
+    let mut best = u64::MAX;
+    for mask in 0..(1u32 << n) {
+        let ones = mask.count_ones() as u64;
+        if ones > budget || (n as u64 - ones) > budget {
+            continue;
+        }
+        let parts: Vec<Idx> = (0..n).map(|k| (mask >> k) & 1).collect();
+        let p = NonzeroPartition::new(2, parts).expect("bipartition");
+        best = best.min(communication_volume(a, &p));
+    }
+    best
+}
+
+fn best_of_seeds(a: &Coo, method: Method, seeds: u64) -> u64 {
+    let cfg = PartitionerConfig::mondriaan_like();
+    (0..seeds)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            method.bipartition(a, 0.03, &cfg, &mut rng).volume
+        })
+        .min()
+        .expect("at least one seed")
+}
+
+#[test]
+fn medium_grain_finds_the_optimum_on_a_cross() {
+    // A plus-shaped pattern: one dense row and one dense column crossing.
+    let mut entries = Vec::new();
+    for j in 0..7u32 {
+        entries.push((3, j));
+    }
+    for i in 0..7u32 {
+        entries.push((i, 3));
+    }
+    let a = Coo::new(7, 7, entries).unwrap();
+    assert_eq!(a.nnz(), 13);
+    let optimal = optimal_volume(&a, 0.03);
+    let found = best_of_seeds(&a, Method::MediumGrain { refine: true }, 20);
+    assert_eq!(
+        found, optimal,
+        "MG+IR best-of-20 should reach the brute-force optimum"
+    );
+}
+
+#[test]
+fn medium_grain_matches_optimum_on_small_blocks() {
+    // Two 2x2 dense blocks sharing one row: optimal volume is 1.
+    let entries = vec![
+        (0, 0),
+        (0, 1),
+        (1, 0),
+        (1, 1),
+        (1, 2),
+        (1, 3),
+        (2, 2),
+        (2, 3),
+    ];
+    let a = Coo::new(3, 4, entries).unwrap();
+    let optimal = optimal_volume(&a, 0.03);
+    assert_eq!(optimal, 1);
+    let found = best_of_seeds(&a, Method::MediumGrain { refine: true }, 20);
+    assert_eq!(found, optimal);
+}
+
+#[test]
+fn fine_grain_also_reaches_optimum_on_tiny_instances() {
+    let entries = vec![
+        (0, 0),
+        (0, 1),
+        (1, 1),
+        (1, 2),
+        (2, 2),
+        (2, 3),
+        (3, 3),
+        (3, 0),
+        (0, 2),
+        (2, 0),
+    ];
+    let a = Coo::new(4, 4, entries).unwrap();
+    let optimal = optimal_volume(&a, 0.03);
+    let fg = best_of_seeds(&a, Method::FineGrain { refine: true }, 20);
+    assert_eq!(fg, optimal);
+    let mg = best_of_seeds(&a, Method::MediumGrain { refine: true }, 20);
+    assert!(mg <= optimal + 1, "MG {} vs optimal {}", mg, optimal);
+}
+
+#[test]
+fn methods_never_beat_the_brute_force_optimum() {
+    // Sanity for the oracle itself: no method may report a volume below
+    // the enumerated optimum (that would mean a metric bug).
+    let mut rng = StdRng::seed_from_u64(12);
+    let a = mg_sparse::gen::erdos_renyi(6, 6, 14, &mut rng);
+    let optimal = optimal_volume(&a, 0.03);
+    for method in [
+        Method::LocalBest { refine: true },
+        Method::FineGrain { refine: true },
+        Method::MediumGrain { refine: true },
+    ] {
+        let found = best_of_seeds(&a, method, 10);
+        assert!(
+            found >= optimal,
+            "{method} reported {found} below the optimum {optimal}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Identical-net merging.
+//!
+//! Coarsening frequently produces nets with exactly the same pin set; for
+//! cut purposes they are one net whose weight is the sum. Merging them
+//! shrinks the pin structure and, more importantly, lets FM see the true
+//! cost of separating the shared pins. Mondriaan and PaToH both do this.
+
+use crate::{Hypergraph, HypergraphBuilder, Idx};
+use std::collections::HashMap;
+
+/// Returns a hypergraph in which nets with identical pin sets are merged
+/// (weights summed), preserving vertex identities and weights. Net order
+/// follows first occurrence.
+pub fn dedup_nets(h: &Hypergraph) -> Hypergraph {
+    // Hash pin slices; pins are sorted+unique, so slice equality is set
+    // equality.
+    let mut index: HashMap<&[Idx], usize> = HashMap::with_capacity(h.num_nets() as usize);
+    let mut merged: Vec<(u64, &[Idx])> = Vec::with_capacity(h.num_nets() as usize);
+    for (_, w, pins) in h.nets() {
+        match index.entry(pins) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                merged[*e.get()].0 += w;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(merged.len());
+                merged.push((w, pins));
+            }
+        }
+    }
+    let mut b = HypergraphBuilder::new(h.vertex_weights().to_vec());
+    for (w, pins) in merged {
+        b.add_net(w, pins.iter().copied());
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexBipartition;
+
+    #[test]
+    fn merges_identical_nets() {
+        let mut b = HypergraphBuilder::new(vec![1; 3]);
+        b.add_net(2, [0, 1]);
+        b.add_net(3, [1, 0]); // same set, different order
+        b.add_net(1, [1, 2]);
+        let h = b.build();
+        let d = dedup_nets(&h);
+        assert_eq!(d.num_nets(), 2);
+        assert_eq!(d.net_weight(0), 5);
+        assert_eq!(d.net_pins(0), &[0, 1]);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn cut_weight_is_preserved_for_any_assignment() {
+        let mut b = HypergraphBuilder::new(vec![1; 4]);
+        b.add_net(1, [0, 1]);
+        b.add_net(4, [0, 1]);
+        b.add_net(2, [2, 3]);
+        b.add_net(1, [0, 3]);
+        let h = b.build();
+        let d = dedup_nets(&h);
+        for mask in 0..16u32 {
+            let sides: Vec<u8> = (0..4).map(|v| ((mask >> v) & 1) as u8).collect();
+            let c1 = VertexBipartition::new(&h, sides.clone()).cut_weight();
+            let c2 = VertexBipartition::new(&d, sides).cut_weight();
+            assert_eq!(c1, c2, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn no_identical_nets_is_identity() {
+        let mut b = HypergraphBuilder::new(vec![1; 3]);
+        b.add_net(1, [0, 1]);
+        b.add_net(1, [1, 2]);
+        let h = b.build();
+        let d = dedup_nets(&h);
+        assert_eq!(h, d);
+    }
+}

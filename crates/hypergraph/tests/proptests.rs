@@ -1,0 +1,108 @@
+//! Property-based tests for the hypergraph substrate: structural
+//! invariants, the cut/volume identity for every classical model, and the
+//! incremental bipartition state.
+
+use mg_hypergraph::{
+    column_net_model, dedup_nets, fine_grain_model, row_net_model, Hypergraph,
+    HypergraphBuilder, Idx, VertexBipartition,
+};
+use mg_sparse::{communication_volume, Coo};
+use proptest::prelude::*;
+
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (1u32..=12, 1u32..=12).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..40)
+            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
+    })
+}
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (1usize..=12).prop_flat_map(|nv| {
+        let weights = proptest::collection::vec(1u64..6, nv..=nv);
+        let nets = proptest::collection::vec(
+            (
+                1u64..4,
+                proptest::collection::vec(0..nv as Idx, 0..6),
+            ),
+            0..10,
+        );
+        (weights, nets).prop_map(|(weights, nets)| {
+            let mut b = HypergraphBuilder::new(weights);
+            for (w, pins) in nets {
+                b.add_net(w, pins);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_output_always_validates(h in arb_hypergraph()) {
+        prop_assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn dedup_preserves_cut_for_any_sides(h in arb_hypergraph(), seed in 0u64..1000) {
+        let d = dedup_nets(&h);
+        prop_assert!(d.validate().is_ok());
+        let nv = h.num_vertices() as usize;
+        let sides: Vec<u8> = (0..nv).map(|v| ((v as u64 * 31 + seed) % 2) as u8).collect();
+        let c1 = VertexBipartition::new(&h, sides.clone()).cut_weight();
+        let c2 = VertexBipartition::new(&d, sides).cut_weight();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// The central identity: hypergraph cut == communication volume of the
+    /// induced nonzero partition, for all three classical models.
+    #[test]
+    fn model_cut_equals_matrix_volume(a in arb_coo(), seed in 0u64..1000) {
+        for model in [row_net_model(&a), column_net_model(&a), fine_grain_model(&a)] {
+            let nv = model.hypergraph.num_vertices() as usize;
+            let sides: Vec<u8> = (0..nv)
+                .map(|v| ((v as u64 * 17 + seed) % 2) as u8)
+                .collect();
+            let cut = VertexBipartition::new(&model.hypergraph, sides.clone()).cut_weight();
+            let np = model.to_nonzero_partition(&a, &sides);
+            prop_assert_eq!(cut, communication_volume(&a, &np), "model {:?}", model.kind);
+        }
+    }
+
+    /// Moving a vertex twice restores the exact state; the incremental
+    /// bookkeeping never drifts from a fresh rebuild.
+    #[test]
+    fn incremental_moves_never_drift(h in arb_hypergraph(), moves in proptest::collection::vec(0usize..12, 0..24)) {
+        let nv = h.num_vertices() as usize;
+        let sides: Vec<u8> = (0..nv).map(|v| (v % 2) as u8).collect();
+        let mut bp = VertexBipartition::new(&h, sides);
+        for &mv in &moves {
+            let v = (mv % nv) as Idx;
+            let predicted = bp.gain(&h, v);
+            let realised = bp.move_vertex(&h, v);
+            prop_assert_eq!(predicted, realised);
+        }
+        prop_assert!(bp.validate(&h).is_ok());
+    }
+
+    /// Total weights are conserved between the two parts.
+    #[test]
+    fn part_weights_sum_to_total(h in arb_hypergraph(), seed in 0u64..1000) {
+        let nv = h.num_vertices() as usize;
+        let sides: Vec<u8> = (0..nv).map(|v| ((v as u64 + seed) % 2) as u8).collect();
+        let bp = VertexBipartition::new(&h, sides);
+        prop_assert_eq!(
+            bp.part_weight(0) + bp.part_weight(1),
+            h.total_vertex_weight()
+        );
+    }
+
+    /// Cut weight is bounded by the total net weight.
+    #[test]
+    fn cut_bounded_by_total_net_weight(h in arb_hypergraph(), seed in 0u64..1000) {
+        let nv = h.num_vertices() as usize;
+        let total: u64 = (0..h.num_nets()).map(|n| h.net_weight(n)).sum();
+        let sides: Vec<u8> = (0..nv).map(|v| ((v as u64 * 7 + seed) % 2) as u8).collect();
+        let bp = VertexBipartition::new(&h, sides);
+        prop_assert!(bp.cut_weight() <= total);
+    }
+}

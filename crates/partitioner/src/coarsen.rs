@@ -1,0 +1,143 @@
+//! Hypergraph contraction: collapse each cluster into one coarse vertex.
+//!
+//! Pins are remapped to cluster ids and deduplicated; nets that shrink to a
+//! single pin are dropped (they can never be cut), and nets with identical
+//! pin sets are merged with summed weights so the coarse FM sees their true
+//! combined cost.
+
+use crate::matching::Clustering;
+use crate::Idx;
+use mg_hypergraph::{Hypergraph, HypergraphBuilder};
+use std::collections::HashMap;
+
+/// The result of one coarsening level.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The contracted hypergraph.
+    pub coarse: Hypergraph,
+    /// `map[v]` is the coarse vertex holding fine vertex `v`.
+    pub map: Vec<Idx>,
+}
+
+/// Contracts `h` according to `clustering`.
+pub fn contract(h: &Hypergraph, clustering: &Clustering) -> CoarseLevel {
+    let k = clustering.num_clusters as usize;
+    let mut weights = vec![0u64; k];
+    for v in 0..h.num_vertices() {
+        weights[clustering.cluster[v as usize] as usize] += h.vertex_weight(v);
+    }
+
+    // Remap nets, dedup pins within each net, drop singletons, merge
+    // identical nets. Identity is the sorted pin list.
+    let mut merged: HashMap<Vec<Idx>, u64> = HashMap::with_capacity(h.num_nets() as usize);
+    let mut scratch: Vec<Idx> = Vec::new();
+    for (_, w, pins) in h.nets() {
+        scratch.clear();
+        scratch.extend(pins.iter().map(|&v| clustering.cluster[v as usize]));
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.len() < 2 {
+            continue;
+        }
+        *merged.entry(scratch.clone()).or_insert(0) += w;
+    }
+
+    // Deterministic net order (sorted by pin list) so coarsening is
+    // reproducible regardless of hash iteration order.
+    let mut nets: Vec<(Vec<Idx>, u64)> = merged.into_iter().collect();
+    nets.sort_unstable();
+
+    let mut builder = HypergraphBuilder::new(weights);
+    for (pins, w) in nets {
+        builder.add_net(w, pins);
+    }
+    CoarseLevel {
+        coarse: builder.build(),
+        map: clustering.cluster.clone(),
+    }
+}
+
+/// Projects a coarse bipartition assignment back to the fine level.
+pub fn project_sides(map: &[Idx], coarse_sides: &[u8]) -> Vec<u8> {
+    map.iter().map(|&c| coarse_sides[c as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_hypergraph::VertexBipartition;
+
+    fn sample() -> (Hypergraph, Clustering) {
+        // 6 vertices; nets: {0,1}, {1,2}, {2,3}, {3,4}, {4,5}, {0,1} again.
+        let mut b = HypergraphBuilder::new(vec![1, 2, 1, 1, 2, 1]);
+        b.add_net(1, [0, 1]);
+        b.add_net(1, [1, 2]);
+        b.add_net(1, [2, 3]);
+        b.add_net(1, [3, 4]);
+        b.add_net(1, [4, 5]);
+        b.add_net(3, [0, 1]);
+        let h = b.build();
+        // Pair (0,1), (2,3), (4,5).
+        let c = Clustering {
+            cluster: vec![0, 0, 1, 1, 2, 2],
+            num_clusters: 3,
+        };
+        (h, c)
+    }
+
+    #[test]
+    fn contracts_weights_and_nets() {
+        let (h, c) = sample();
+        let level = contract(&h, &c);
+        let ch = &level.coarse;
+        assert_eq!(ch.num_vertices(), 3);
+        assert_eq!(ch.vertex_weight(0), 3);
+        assert_eq!(ch.vertex_weight(1), 2);
+        assert_eq!(ch.vertex_weight(2), 3);
+        assert_eq!(ch.total_vertex_weight(), h.total_vertex_weight());
+        // Nets {0,1} collapse to singletons and vanish; {1,2} -> {0,1},
+        // {2,3} -> {1}, gone; {3,4} -> {1,2}; {4,5} -> {2} gone.
+        assert_eq!(ch.num_nets(), 2);
+        ch.validate().unwrap();
+    }
+
+    #[test]
+    fn identical_coarse_nets_merge_weights() {
+        let mut b = HypergraphBuilder::new(vec![1; 4]);
+        b.add_net(2, [0, 2]);
+        b.add_net(5, [1, 3]);
+        let h = b.build();
+        // Clusters {0,1} and {2,3}: both nets become {0,1}.
+        let c = Clustering {
+            cluster: vec![0, 0, 1, 1],
+            num_clusters: 2,
+        };
+        let level = contract(&h, &c);
+        assert_eq!(level.coarse.num_nets(), 1);
+        assert_eq!(level.coarse.net_weight(0), 7);
+    }
+
+    #[test]
+    fn cut_of_projected_partition_matches_coarse_cut() {
+        let (h, c) = sample();
+        let level = contract(&h, &c);
+        // Any coarse assignment must have the same cut as its projection,
+        // because contraction only removes nets that cannot be cut when the
+        // cluster moves as a unit.
+        for mask in 0..8u32 {
+            let coarse_sides: Vec<u8> = (0..3).map(|v| ((mask >> v) & 1) as u8).collect();
+            let fine_sides = project_sides(&level.map, &coarse_sides);
+            let coarse_cut =
+                VertexBipartition::new(&level.coarse, coarse_sides).cut_weight();
+            let fine_cut = VertexBipartition::new(&h, fine_sides).cut_weight();
+            assert_eq!(coarse_cut, fine_cut, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn projection_respects_map() {
+        let map = vec![1, 0, 1];
+        let sides = project_sides(&map, &[1, 0]);
+        assert_eq!(sides, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Gain buckets: the O(1)-update priority structure of Fiduccia–Mattheyses.
+//!
+//! Vertices are kept in doubly-linked lists, one list per integer gain
+//! value, over a flat bucket array offset so gains may be negative. All
+//! links are intrusive `i64` arrays indexed by vertex id — no allocation
+//! after construction, following the flat-structure idiom of the
+//! performance guide.
+
+use crate::Idx;
+
+const NIL: i64 = -1;
+
+/// A bucket-array priority structure mapping vertices to integer gains.
+///
+/// Gains are clamped to `[-range, +range]`; clamping only affects move
+/// *ordering* (the realised gain is always recomputed by the partition
+/// state), so a clamped structure stays correct, just marginally less
+/// greedy on pathological weight distributions.
+#[derive(Debug, Clone)]
+pub struct GainBuckets {
+    range: i64,
+    /// `heads[g + range]` is the first vertex with (clamped) gain `g`.
+    heads: Vec<i64>,
+    prev: Vec<i64>,
+    next: Vec<i64>,
+    gain: Vec<i64>,
+    in_bucket: Vec<bool>,
+    /// Upper bound on the highest non-empty bucket index; decays lazily.
+    max_index: i64,
+    len: usize,
+}
+
+impl GainBuckets {
+    /// Creates an empty structure for `num_vertices` vertices with gains in
+    /// `[-range, +range]`.
+    pub fn new(num_vertices: usize, range: i64) -> Self {
+        let range = range.max(0);
+        GainBuckets {
+            range,
+            heads: vec![NIL; (2 * range + 1) as usize],
+            prev: vec![NIL; num_vertices],
+            next: vec![NIL; num_vertices],
+            gain: vec![0; num_vertices],
+            in_bucket: vec![false; num_vertices],
+            max_index: -1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn clamp(&self, g: i64) -> i64 {
+        g.clamp(-self.range, self.range)
+    }
+
+    /// Number of vertices currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no vertices are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `v` is currently stored.
+    #[inline]
+    pub fn contains(&self, v: Idx) -> bool {
+        self.in_bucket[v as usize]
+    }
+
+    /// The stored (clamped) gain of `v`; meaningful only if stored.
+    #[inline]
+    pub fn gain_of(&self, v: Idx) -> i64 {
+        self.gain[v as usize]
+    }
+
+    /// Inserts `v` with the given gain. Panics in debug mode if present.
+    pub fn insert(&mut self, v: Idx, gain: i64) {
+        debug_assert!(!self.in_bucket[v as usize], "vertex {v} already stored");
+        let g = self.clamp(gain);
+        let idx = (g + self.range) as usize;
+        let vi = v as i64;
+        let head = self.heads[idx];
+        self.next[v as usize] = head;
+        self.prev[v as usize] = NIL;
+        if head != NIL {
+            self.prev[head as usize] = vi;
+        }
+        self.heads[idx] = vi;
+        self.gain[v as usize] = g;
+        self.in_bucket[v as usize] = true;
+        self.max_index = self.max_index.max(idx as i64);
+        self.len += 1;
+    }
+
+    /// Removes `v`. Panics in debug mode if absent.
+    pub fn remove(&mut self, v: Idx) {
+        debug_assert!(self.in_bucket[v as usize], "vertex {v} not stored");
+        let p = self.prev[v as usize];
+        let n = self.next[v as usize];
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            let idx = (self.gain[v as usize] + self.range) as usize;
+            self.heads[idx] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        self.in_bucket[v as usize] = false;
+        self.len -= 1;
+    }
+
+    /// Adds `delta` to the gain of a stored vertex, relinking it.
+    pub fn adjust(&mut self, v: Idx, delta: i64) {
+        let g = self.gain[v as usize] + delta;
+        self.remove(v);
+        self.insert(v, g);
+    }
+
+    /// Scans vertices in non-increasing gain order, returning the first one
+    /// accepted by `feasible`, inspecting at most `cap` candidates.
+    /// The returned vertex is *not* removed.
+    pub fn best_where(&mut self, mut feasible: impl FnMut(Idx) -> bool, cap: usize) -> Option<Idx> {
+        let mut inspected = 0usize;
+        // Decay the max pointer past empty buckets first.
+        while self.max_index >= 0 && self.heads[self.max_index as usize] == NIL {
+            self.max_index -= 1;
+        }
+        let mut idx = self.max_index;
+        while idx >= 0 && inspected < cap {
+            let mut node = self.heads[idx as usize];
+            while node != NIL && inspected < cap {
+                inspected += 1;
+                let v = node as Idx;
+                if feasible(v) {
+                    return Some(v);
+                }
+                node = self.next[node as usize];
+            }
+            idx -= 1;
+        }
+        None
+    }
+
+    /// The current maximum stored gain, if any vertex is stored.
+    pub fn max_gain(&mut self) -> Option<i64> {
+        while self.max_index >= 0 && self.heads[self.max_index as usize] == NIL {
+            self.max_index -= 1;
+        }
+        if self.max_index >= 0 {
+            Some(self.max_index - self.range)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_best() {
+        let mut b = GainBuckets::new(5, 10);
+        b.insert(0, 3);
+        b.insert(1, -2);
+        b.insert(2, 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.max_gain(), Some(7));
+        assert_eq!(b.best_where(|_| true, 100), Some(2));
+    }
+
+    #[test]
+    fn best_respects_feasibility() {
+        let mut b = GainBuckets::new(5, 10);
+        b.insert(0, 5);
+        b.insert(1, 5);
+        b.insert(2, 1);
+        let skip0 = b.best_where(|v| v != 0, 100).unwrap();
+        assert_ne!(skip0, 0);
+        let only2 = b.best_where(|v| v == 2, 100);
+        assert_eq!(only2, Some(2));
+    }
+
+    #[test]
+    fn remove_relinks() {
+        let mut b = GainBuckets::new(4, 10);
+        b.insert(0, 2);
+        b.insert(1, 2);
+        b.insert(2, 2);
+        b.remove(1); // middle of the list
+        assert!(!b.contains(1));
+        assert_eq!(b.len(), 2);
+        // Both remaining vertices still reachable.
+        let mut seen = vec![];
+        while let Some(v) = b.best_where(|_| true, 100) {
+            seen.push(v);
+            b.remove(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn adjust_moves_between_buckets() {
+        let mut b = GainBuckets::new(3, 10);
+        b.insert(0, 0);
+        b.insert(1, 1);
+        b.adjust(0, 5);
+        assert_eq!(b.best_where(|_| true, 100), Some(0));
+        b.adjust(0, -9);
+        assert_eq!(b.best_where(|_| true, 100), Some(1));
+        assert_eq!(b.gain_of(0), -4);
+    }
+
+    #[test]
+    fn gains_are_clamped_not_lost() {
+        let mut b = GainBuckets::new(2, 3);
+        b.insert(0, 100);
+        b.insert(1, -100);
+        assert_eq!(b.gain_of(0), 3);
+        assert_eq!(b.gain_of(1), -3);
+        assert_eq!(b.best_where(|_| true, 100), Some(0));
+        b.adjust(0, -100);
+        assert_eq!(b.gain_of(0), -3);
+    }
+
+    #[test]
+    fn cap_limits_inspection() {
+        let mut b = GainBuckets::new(10, 5);
+        for v in 0..10 {
+            b.insert(v, 5);
+        }
+        // With cap 3 and a predicate rejecting everything, no candidate.
+        assert_eq!(b.best_where(|_| false, 3), None);
+    }
+
+    #[test]
+    fn max_gain_decays_after_removals() {
+        let mut b = GainBuckets::new(3, 10);
+        b.insert(0, 8);
+        b.insert(1, 2);
+        b.remove(0);
+        assert_eq!(b.max_gain(), Some(2));
+        b.remove(1);
+        assert_eq!(b.max_gain(), None);
+        assert!(b.is_empty());
+    }
+}

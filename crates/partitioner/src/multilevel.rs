@@ -1,0 +1,351 @@
+//! The multilevel driver: coarsen → initial partition → uncoarsen + refine,
+//! with optional restricted V-cycles.
+
+use crate::coarsen::{contract, project_sides};
+use crate::config::PartitionerConfig;
+use crate::fm::{fm_refine, FmLimits};
+use crate::initial::initial_partition;
+use crate::matching::{cluster_vertices, Clustering};
+use crate::Idx;
+use mg_hypergraph::{Hypergraph, VertexBipartition};
+use rand::Rng;
+
+/// Balance specification for one bisection: target weights per side plus
+/// the allowed slack ε.
+#[derive(Debug, Clone, Copy)]
+pub struct BisectionTargets {
+    /// Desired vertex weight per side; usually `⌈W/2⌉, ⌊W/2⌋`, but uneven
+    /// for odd part counts in recursive bisection.
+    pub target: [u64; 2],
+    /// Allowed relative slack on each side (eqn (1) at this level).
+    pub epsilon: f64,
+}
+
+impl BisectionTargets {
+    /// Even split of a total weight.
+    pub fn even(total_weight: u64, epsilon: f64) -> Self {
+        BisectionTargets {
+            target: [total_weight.div_ceil(2), total_weight / 2],
+            epsilon,
+        }
+    }
+
+    /// Hard budgets per side: `max(target, ⌊(1+ε)·target⌋)`. The `max`
+    /// guarantees the even split is always feasible, mirroring
+    /// `mg_sparse::partition::part_budget`.
+    pub fn budgets(&self) -> [u64; 2] {
+        let b = |t: u64| (((1.0 + self.epsilon) * t as f64).floor() as u64).max(t);
+        [b(self.target[0]), b(self.target[1])]
+    }
+}
+
+/// The result of a multilevel bisection.
+#[derive(Debug, Clone)]
+pub struct BisectionOutcome {
+    /// Side (0/1) per vertex of the input hypergraph.
+    pub sides: Vec<u8>,
+    /// Cut weight of the bipartition (= communication volume for matrix
+    /// models).
+    pub cut: u64,
+    /// Final vertex weight per side.
+    pub part_weights: [u64; 2],
+}
+
+/// Bipartitions a hypergraph with the full multilevel pipeline.
+pub fn bipartition_hypergraph<R: Rng>(
+    h: &Hypergraph,
+    targets: &BisectionTargets,
+    config: &PartitionerConfig,
+    rng: &mut R,
+) -> BisectionOutcome {
+    let budget = targets.budgets();
+    let limits = FmLimits {
+        budget,
+        max_passes: config.fm_max_passes,
+        stall_limit: config.fm_stall_limit,
+        scan_cap: 128,
+        boundary_only: config.boundary_fm,
+    };
+
+    // --- Coarsening phase: build the hierarchy. ---
+    let mut graphs: Vec<Hypergraph> = Vec::new();
+    let mut maps: Vec<Vec<Idx>> = Vec::new();
+    loop {
+        let current = graphs.last().unwrap_or(h);
+        if current.num_vertices() <= config.coarsest_vertices
+            || maps.len() as u32 >= config.max_levels
+        {
+            break;
+        }
+        let clustering = cluster_vertices(current, config, rng);
+        let reduction =
+            1.0 - clustering.num_clusters as f64 / current.num_vertices().max(1) as f64;
+        if reduction < config.min_reduction {
+            break;
+        }
+        let level = contract(current, &clustering);
+        maps.push(level.map);
+        graphs.push(level.coarse);
+    }
+
+    // --- Initial partition at the coarsest level. ---
+    let coarsest = graphs.last().unwrap_or(h);
+    let bp = initial_partition(coarsest, targets, config, rng);
+    let mut sides = bp.into_sides();
+
+    // --- Uncoarsening: project up and refine at every level. ---
+    for level in (0..maps.len()).rev() {
+        sides = project_sides(&maps[level], &sides);
+        let finer: &Hypergraph = if level == 0 { h } else { &graphs[level - 1] };
+        let mut bp = VertexBipartition::new(finer, sides);
+        fm_refine(finer, &mut bp, &limits);
+        sides = bp.into_sides();
+    }
+    // If no coarsening happened, still refine on the original graph.
+    if maps.is_empty() {
+        let mut bp = VertexBipartition::new(h, sides);
+        fm_refine(h, &mut bp, &limits);
+        sides = bp.into_sides();
+    }
+
+    // --- Optional restricted V-cycles. ---
+    for _ in 0..config.vcycles {
+        sides = vcycle(h, sides, targets, config, rng);
+    }
+
+    let bp = VertexBipartition::new(h, sides);
+    BisectionOutcome {
+        cut: bp.cut_weight(),
+        part_weights: [bp.part_weight(0), bp.part_weight(1)],
+        sides: bp.into_sides(),
+    }
+}
+
+/// One restricted V-cycle (hMetis-style): coarsen without ever merging
+/// vertices from different sides, so the current partition projects exactly,
+/// then refine on the way back up. Never worsens the cut.
+fn vcycle<R: Rng>(
+    h: &Hypergraph,
+    sides: Vec<u8>,
+    targets: &BisectionTargets,
+    config: &PartitionerConfig,
+    rng: &mut R,
+) -> Vec<u8> {
+    let budget = targets.budgets();
+    let limits = FmLimits {
+        budget,
+        max_passes: config.fm_max_passes,
+        stall_limit: config.fm_stall_limit,
+        scan_cap: 128,
+        boundary_only: config.boundary_fm,
+    };
+
+    let mut graphs: Vec<Hypergraph> = Vec::new();
+    let mut maps: Vec<Vec<Idx>> = Vec::new();
+    let mut level_sides: Vec<Vec<u8>> = vec![sides];
+    loop {
+        let current = graphs.last().unwrap_or(h);
+        let current_sides = level_sides.last().expect("pushed above");
+        if current.num_vertices() <= config.coarsest_vertices
+            || maps.len() as u32 >= config.max_levels
+        {
+            break;
+        }
+        let clustering = cluster_vertices(current, config, rng);
+        let restricted = restrict_clustering(&clustering, current_sides);
+        let reduction =
+            1.0 - restricted.num_clusters as f64 / current.num_vertices().max(1) as f64;
+        if reduction < config.min_reduction {
+            break;
+        }
+        let level = contract(current, &restricted);
+        // Every cluster is side-pure, so the coarse side is well defined.
+        let mut coarse_sides = vec![0u8; restricted.num_clusters as usize];
+        for (v, &c) in restricted.cluster.iter().enumerate() {
+            coarse_sides[c as usize] = current_sides[v];
+        }
+        maps.push(level.map);
+        graphs.push(level.coarse);
+        level_sides.push(coarse_sides);
+    }
+
+    // Refine bottom-up from the coarsest level.
+    let mut sides = level_sides.pop().expect("at least the input level");
+    for level in (0..maps.len()).rev() {
+        let graph: &Hypergraph = if level < graphs.len() {
+            &graphs[level]
+        } else {
+            h
+        };
+        let mut bp = VertexBipartition::new(graph, sides);
+        fm_refine(graph, &mut bp, &limits);
+        sides = project_sides(&maps[level], &bp.into_sides());
+    }
+    let mut bp = VertexBipartition::new(h, sides);
+    fm_refine(h, &mut bp, &limits);
+    bp.into_sides()
+}
+
+/// Splits every mixed-side cluster of `clustering` into its side-0 and
+/// side-1 sub-clusters, renumbering contiguously.
+fn restrict_clustering(clustering: &Clustering, sides: &[u8]) -> Clustering {
+    let k = clustering.num_clusters as usize;
+    // (old cluster, side) → new id, assigned on first encounter.
+    let mut remap = vec![[Idx::MAX; 2]; k];
+    let mut next = 0 as Idx;
+    let mut cluster = vec![0 as Idx; clustering.cluster.len()];
+    for (v, &c) in clustering.cluster.iter().enumerate() {
+        let side = sides[v] as usize;
+        let slot = &mut remap[c as usize][side];
+        if *slot == Idx::MAX {
+            *slot = next;
+            next += 1;
+        }
+        cluster[v] = *slot;
+    }
+    Clustering {
+        cluster,
+        num_clusters: next,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_hypergraph::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 2D grid as a hypergraph (2-pin nets): the planar bisection value is
+    /// well understood, so multilevel quality is easy to sanity check.
+    fn grid(w: usize, hgt: usize) -> Hypergraph {
+        let idx = |x: usize, y: usize| (y * w + x) as Idx;
+        let mut b = HypergraphBuilder::new(vec![1; w * hgt]);
+        for y in 0..hgt {
+            for x in 0..w {
+                if x + 1 < w {
+                    b.add_net(1, [idx(x, y), idx(x + 1, y)]);
+                }
+                if y + 1 < hgt {
+                    b.add_net(1, [idx(x, y), idx(x, y + 1)]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisects_grid_well() {
+        let h = grid(16, 16);
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.03);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let budget = targets.budgets();
+        assert!(out.part_weights[0] <= budget[0]);
+        assert!(out.part_weights[1] <= budget[1]);
+        // Optimal cut for a 16x16 grid bisection is 16; multilevel FM should
+        // land close. Generous bound to keep the test robust across seeds.
+        assert!(out.cut <= 26, "cut {}", out.cut);
+    }
+
+    #[test]
+    fn patoh_like_preset_also_works() {
+        let h = grid(12, 12);
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.03);
+        let cfg = PartitionerConfig::patoh_like();
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let budget = targets.budgets();
+        assert!(out.part_weights[0] <= budget[0]);
+        assert!(out.part_weights[1] <= budget[1]);
+        assert!(out.cut <= 20, "cut {}", out.cut);
+    }
+
+    #[test]
+    fn cut_matches_reported_sides() {
+        let h = grid(8, 8);
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.1);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let bp = VertexBipartition::new(&h, out.sides.clone());
+        assert_eq!(bp.cut_weight(), out.cut);
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening() {
+        let h = grid(4, 4); // 16 vertices < coarsest_vertices
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.0);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(14);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        assert_eq!(out.part_weights[0], 8);
+        assert_eq!(out.part_weights[1], 8);
+        assert!(out.cut <= 8);
+    }
+
+    #[test]
+    fn vcycle_never_worsens() {
+        let h = grid(16, 16);
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.03);
+        let mut cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(15);
+        let base = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        cfg.vcycles = 2;
+        let mut rng = StdRng::seed_from_u64(15);
+        let cycled = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        assert!(cycled.cut <= base.cut, "{} vs {}", cycled.cut, base.cut);
+    }
+
+    #[test]
+    fn uneven_targets_respected() {
+        let h = grid(10, 10);
+        let total = h.total_vertex_weight();
+        let targets = BisectionTargets {
+            target: [(total * 3) / 4, total - (total * 3) / 4],
+            epsilon: 0.05,
+        };
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(16);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let budget = targets.budgets();
+        assert!(out.part_weights[0] <= budget[0]);
+        assert!(out.part_weights[1] <= budget[1]);
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // 4 heavy vertices + 60 light in a chain.
+        let mut weights = vec![1u64; 64];
+        for w in weights.iter_mut().take(4) {
+            *w = 20;
+        }
+        let mut b = HypergraphBuilder::new(weights);
+        for v in 0..63u32 {
+            b.add_net(1, [v, v + 1]);
+        }
+        let h = b.build();
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.05);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(17);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let budget = targets.budgets();
+        assert!(out.part_weights[0] <= budget[0]);
+        assert!(out.part_weights[1] <= budget[1]);
+    }
+
+    #[test]
+    fn restrict_clustering_splits_mixed() {
+        let c = Clustering {
+            cluster: vec![0, 0, 1, 1],
+            num_clusters: 2,
+        };
+        let sides = vec![0, 1, 1, 1];
+        let r = restrict_clustering(&c, &sides);
+        r.validate().unwrap();
+        assert_eq!(r.num_clusters, 3);
+        assert_ne!(r.cluster[0], r.cluster[1]);
+        assert_eq!(r.cluster[2], r.cluster[3]);
+    }
+}

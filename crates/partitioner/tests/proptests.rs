@@ -1,0 +1,113 @@
+//! Property-based tests for the multilevel partitioner: FM safety
+//! (monotone cut, budget compliance), coarsening correctness, and driver
+//! feasibility on arbitrary hypergraphs.
+
+use mg_hypergraph::{Hypergraph, HypergraphBuilder, Idx, VertexBipartition};
+use mg_partitioner::matching::cluster_vertices;
+use mg_partitioner::coarsen::{contract, project_sides};
+use mg_partitioner::{
+    bipartition_hypergraph, fm_refine, BisectionTargets, FmLimits, PartitionerConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=16).prop_flat_map(|nv| {
+        let weights = proptest::collection::vec(1u64..4, nv..=nv);
+        let nets = proptest::collection::vec(
+            (1u64..4, proptest::collection::vec(0..nv as Idx, 2..5)),
+            1..14,
+        );
+        (weights, nets).prop_map(|(weights, nets)| {
+            let mut b = HypergraphBuilder::new(weights);
+            for (w, pins) in nets {
+                b.add_net(w, pins);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// From a feasible start, FM never worsens the cut and never leaves
+    /// the budgets.
+    #[test]
+    fn fm_is_safe_from_feasible_starts(h in arb_hypergraph(), seed in 0u64..500) {
+        let nv = h.num_vertices() as usize;
+        let sides: Vec<u8> = (0..nv).map(|v| ((v as u64 + seed) % 2) as u8).collect();
+        let bp0 = VertexBipartition::new(&h, sides.clone());
+        // Budgets that make the start feasible by construction.
+        let budget = [
+            bp0.part_weight(0).max(1) + 1,
+            bp0.part_weight(1).max(1) + 1,
+        ];
+        let before = bp0.cut_weight();
+        let mut bp = bp0;
+        fm_refine(&h, &mut bp, &FmLimits::new(budget));
+        prop_assert!(bp.cut_weight() <= before);
+        prop_assert!(bp.part_weight(0) <= budget[0]);
+        prop_assert!(bp.part_weight(1) <= budget[1]);
+        prop_assert!(bp.validate(&h).is_ok());
+    }
+
+    /// Clusterings from every scheme are valid and contraction preserves
+    /// the cut of any projected partition.
+    #[test]
+    fn contraction_preserves_projected_cut(h in arb_hypergraph(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let clustering = cluster_vertices(&h, &cfg, &mut rng);
+        prop_assert!(clustering.validate().is_ok());
+        let level = contract(&h, &clustering);
+        prop_assert!(level.coarse.validate().is_ok());
+        // Coarse weights conserve total weight.
+        prop_assert_eq!(
+            level.coarse.total_vertex_weight(),
+            h.total_vertex_weight()
+        );
+        // Any coarse assignment projects to the same cut.
+        let k = level.coarse.num_vertices() as usize;
+        let coarse_sides: Vec<u8> = (0..k).map(|v| ((v as u64 * 13 + seed) % 2) as u8).collect();
+        let coarse_cut =
+            VertexBipartition::new(&level.coarse, coarse_sides.clone()).cut_weight();
+        let fine_sides = project_sides(&level.map, &coarse_sides);
+        let fine_cut = VertexBipartition::new(&h, fine_sides).cut_weight();
+        prop_assert_eq!(coarse_cut, fine_cut);
+    }
+
+    /// The full multilevel driver always returns a feasible bipartition
+    /// whose reported cut matches its sides.
+    #[test]
+    fn multilevel_outcome_is_feasible_and_consistent(h in arb_hypergraph(), seed in 0u64..200) {
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.1);
+        let cfg = PartitionerConfig::mondriaan_like();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = bipartition_hypergraph(&h, &targets, &cfg, &mut rng);
+        let bp = VertexBipartition::new(&h, out.sides.clone());
+        prop_assert_eq!(bp.cut_weight(), out.cut);
+        prop_assert_eq!(
+            [bp.part_weight(0), bp.part_weight(1)],
+            out.part_weights
+        );
+        // Feasible whenever a feasible assignment exists at all; with
+        // max vertex weight ≤ 3 and ε = 0.1, the greedy even split is
+        // feasible, so the driver must be too — up to one max vertex
+        // weight of slack on pathological weight profiles.
+        let budget = targets.budgets();
+        let slack = (0..h.num_vertices()).map(|v| h.vertex_weight(v)).max().unwrap_or(0);
+        prop_assert!(out.part_weights[0] <= budget[0] + slack);
+        prop_assert!(out.part_weights[1] <= budget[1] + slack);
+    }
+
+    /// Determinism: the same seed gives the same outcome.
+    #[test]
+    fn multilevel_is_deterministic(h in arb_hypergraph(), seed in 0u64..200) {
+        let targets = BisectionTargets::even(h.total_vertex_weight(), 0.05);
+        let cfg = PartitionerConfig::patoh_like();
+        let a = bipartition_hypergraph(&h, &targets, &cfg, &mut StdRng::seed_from_u64(seed));
+        let b = bipartition_hypergraph(&h, &targets, &cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.sides, b.sides);
+        prop_assert_eq!(a.cut, b.cut);
+    }
+}

@@ -1,0 +1,261 @@
+//! Distributed Matrix Market I/O — persisting *partitioned* matrices.
+//!
+//! Mondriaan writes its output as a "distributed matrix": the ordinary
+//! coordinate body re-sorted by owning processor, prefixed with the part
+//! count and a `Pstart` array marking where each processor's nonzeros
+//! begin. We implement the same scheme:
+//!
+//! ```text
+//! %%MatrixMarket distributed-matrix coordinate pattern general
+//! m n nnz p
+//! Pstart[0]
+//! ...
+//! Pstart[p]          (p+1 lines; Pstart[p] == nnz)
+//! i j                (nnz lines, 1-based, grouped by processor)
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::partition::NonzeroPartition;
+use crate::{Coo, Idx, SparseError};
+
+/// Writes a partitioned matrix in distributed Matrix Market form.
+pub fn write_distributed<W: Write>(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    mut writer: W,
+) -> Result<(), SparseError> {
+    partition
+        .check_against(a)
+        .map_err(|e| SparseError::Io(e.to_string()))?;
+    let p = partition.num_parts();
+    writeln!(
+        writer,
+        "%%MatrixMarket distributed-matrix coordinate pattern general"
+    )?;
+    writeln!(writer, "% written by mg-sparse")?;
+    writeln!(writer, "{} {} {} {}", a.rows(), a.cols(), a.nnz(), p)?;
+
+    let members = partition.part_members();
+    let mut start = 0usize;
+    writeln!(writer, "0")?;
+    for part in &members {
+        start += part.len();
+        writeln!(writer, "{start}")?;
+    }
+    for part in &members {
+        for &k in part {
+            let (i, j) = a.entry(k as usize);
+            writeln!(writer, "{} {}", i + 1, j + 1)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a partitioned matrix to a file.
+pub fn write_distributed_file<P: AsRef<Path>>(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    path: P,
+) -> Result<(), SparseError> {
+    let file = std::fs::File::create(path)?;
+    write_distributed(a, partition, std::io::BufWriter::new(file))
+}
+
+/// Reads a distributed matrix, returning the (canonical) matrix and the
+/// nonzero partition.
+pub fn read_distributed<R: Read>(reader: R) -> Result<(Coo, NonzeroPartition), SparseError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader
+        .lines()
+        .enumerate()
+        .map(|(no, l)| (no + 1, l))
+        .filter(|(_, l)| {
+            l.as_ref()
+                .map(|s| {
+                    let t = s.trim();
+                    !t.is_empty() && (!t.starts_with('%') || t.starts_with("%%"))
+                })
+                .unwrap_or(true)
+        });
+
+    let (no, header) = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse(0, "empty file".into()))?;
+    let header = header?;
+    let lowered = header.to_ascii_lowercase();
+    if !lowered.starts_with("%%matrixmarket distributed-matrix coordinate pattern") {
+        return Err(SparseError::Parse(
+            no,
+            format!("not a distributed pattern matrix: {header:?}"),
+        ));
+    }
+
+    let (no, size) = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse(no, "missing size line".into()))?;
+    let size = size?;
+    let fields: Vec<u64> = size
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| SparseError::Parse(no, format!("bad integer {t:?}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if fields.len() != 4 {
+        return Err(SparseError::Parse(
+            no,
+            "size line must be `m n nnz p`".into(),
+        ));
+    }
+    let (m, n, nnz, p) = (fields[0], fields[1], fields[2] as usize, fields[3]);
+    if m >= Idx::MAX as u64 || n >= Idx::MAX as u64 || p >= Idx::MAX as u64 || p == 0 {
+        return Err(SparseError::Parse(no, "dimensions out of range".into()));
+    }
+
+    let mut pstart = Vec::with_capacity(p as usize + 1);
+    for _ in 0..=p {
+        let (no, line) = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse(no, "missing Pstart line".into()))?;
+        let line = line?;
+        let v: u64 = line
+            .trim()
+            .parse()
+            .map_err(|e| SparseError::Parse(no, format!("bad Pstart {line:?}: {e}")))?;
+        pstart.push(v as usize);
+    }
+    if pstart[0] != 0 || *pstart.last().expect("non-empty") != nnz {
+        return Err(SparseError::Parse(
+            no,
+            format!("Pstart must run from 0 to nnz, got {pstart:?}"),
+        ));
+    }
+    if pstart.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SparseError::Parse(no, "Pstart must be non-decreasing".into()));
+    }
+
+    let mut entries: Vec<(Idx, Idx)> = Vec::with_capacity(nnz);
+    let mut owners: Vec<Idx> = Vec::with_capacity(nnz);
+    let mut part = 0usize;
+    for _ in 0..nnz {
+        let (no, line) = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse(no, "missing entry line".into()))?;
+        let line = line?;
+        let mut it = line.split_whitespace();
+        let parse = |t: Option<&str>| -> Result<u64, SparseError> {
+            t.ok_or_else(|| SparseError::Parse(no, "short entry line".into()))?
+                .parse::<u64>()
+                .map_err(|e| SparseError::Parse(no, format!("bad index: {e}")))
+        };
+        let i = parse(it.next())?;
+        let j = parse(it.next())?;
+        if i == 0 || j == 0 || i > m || j > n {
+            return Err(SparseError::Parse(
+                no,
+                format!("coordinate ({i}, {j}) out of bounds"),
+            ));
+        }
+        while part < p as usize && entries.len() >= pstart[part + 1] {
+            part += 1;
+        }
+        entries.push(((i - 1) as Idx, (j - 1) as Idx));
+        owners.push(part as Idx);
+    }
+
+    // Canonicalise: sort entries (with owners attached) row-major.
+    let mut pairs: Vec<((Idx, Idx), Idx)> =
+        entries.into_iter().zip(owners).collect();
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|(e, _)| *e);
+    let (entries, owners): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    let coo = Coo::from_sorted_unchecked(m as Idx, n as Idx, entries);
+    let partition = NonzeroPartition::new(p as Idx, owners)
+        .map_err(|e| SparseError::Parse(no, e.to_string()))?;
+    Ok((coo, partition))
+}
+
+/// Reads a distributed matrix from a file.
+pub fn read_distributed_file<P: AsRef<Path>>(
+    path: P,
+) -> Result<(Coo, NonzeroPartition), SparseError> {
+    let file = std::fs::File::open(path)?;
+    read_distributed(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::communication_volume;
+
+    fn sample() -> (Coo, NonzeroPartition) {
+        let a = Coo::new(3, 4, vec![(0, 0), (0, 2), (1, 1), (2, 0), (2, 3)]).unwrap();
+        let p = NonzeroPartition::new(3, vec![2, 0, 1, 0, 2]).unwrap();
+        (a, p)
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix_and_partition() {
+        let (a, p) = sample();
+        let mut buf = Vec::new();
+        write_distributed(&a, &p, &mut buf).unwrap();
+        let (a2, p2) = read_distributed(buf.as_slice()).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(p, p2);
+        assert_eq!(
+            communication_volume(&a, &p),
+            communication_volume(&a2, &p2)
+        );
+    }
+
+    #[test]
+    fn body_is_grouped_by_processor() {
+        let (a, p) = sample();
+        let mut buf = Vec::new();
+        write_distributed(&a, &p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // header, comment, size, 4 Pstart lines, then entries.
+        assert!(lines[0].contains("distributed-matrix"));
+        assert_eq!(lines[2], "3 4 5 3");
+        let pstart: Vec<usize> = lines[3..7].iter().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(pstart, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn rejects_inconsistent_pstart() {
+        let text = "%%MatrixMarket distributed-matrix coordinate pattern general\n\
+                    2 2 2 2\n0\n1\n3\n1 1\n2 2\n";
+        assert!(read_distributed(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_plain_matrix_market() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n";
+        assert!(read_distributed(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_parts_are_fine() {
+        let a = Coo::new(2, 2, vec![(0, 0), (1, 1)]).unwrap();
+        let p = NonzeroPartition::new(3, vec![2, 2]).unwrap();
+        let mut buf = Vec::new();
+        write_distributed(&a, &p, &mut buf).unwrap();
+        let (a2, p2) = read_distributed(buf.as_slice()).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (a, p) = sample();
+        let path = std::env::temp_dir().join("mg_dist_io_test.mtx");
+        write_distributed_file(&a, &p, &path).unwrap();
+        let (a2, p2) = read_distributed_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, a2);
+        assert_eq!(p, p2);
+    }
+}

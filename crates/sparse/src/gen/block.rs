@@ -1,0 +1,162 @@
+//! Structured composite patterns: block-diagonal with coupling, arrow
+//! matrices, and RMAT-like Kronecker patterns.
+
+use super::PairSet;
+use crate::{Coo, Idx};
+use rand::Rng;
+
+/// Block-diagonal pattern with dense-ish random blocks plus sparse random
+/// coupling entries between neighbouring blocks. Square,
+/// `n = num_blocks · block_size`.
+pub fn block_diagonal<R: Rng>(
+    num_blocks: Idx,
+    block_size: Idx,
+    block_fill: f64,
+    coupling_per_block: usize,
+    rng: &mut R,
+) -> Coo {
+    assert!(num_blocks > 0 && block_size > 0);
+    let n = num_blocks * block_size;
+    let mut set = PairSet::new(n, n);
+    for b in 0..num_blocks {
+        let base = b * block_size;
+        for i in 0..block_size {
+            set.insert(base + i, base + i);
+            for j in 0..block_size {
+                if i != j && rng.gen::<f64>() < block_fill {
+                    set.insert(base + i, base + j);
+                }
+            }
+        }
+        if b + 1 < num_blocks {
+            let next = (b + 1) * block_size;
+            for _ in 0..coupling_per_block {
+                let i = base + rng.gen_range(0..block_size);
+                let j = next + rng.gen_range(0..block_size);
+                set.insert(i, j);
+                set.insert(j, i);
+            }
+        }
+    }
+    set.into_coo()
+}
+
+/// Arrow pattern: tridiagonal core plus `border` dense final rows and
+/// columns — the classic "hard for 1D methods" shape (its dense rows force
+/// either direction to cut heavily).
+pub fn arrow(n: Idx, border: Idx) -> Coo {
+    assert!(n > border, "border must be smaller than the matrix");
+    let core = n - border;
+    let mut entries = Vec::new();
+    for i in 0..core {
+        entries.push((i, i));
+        if i + 1 < core {
+            entries.push((i, i + 1));
+            entries.push((i + 1, i));
+        }
+    }
+    for b in 0..border {
+        let r = core + b;
+        entries.push((r, r));
+        for j in 0..core {
+            entries.push((r, j));
+            entries.push((j, r));
+        }
+    }
+    Coo::new(n, n, entries).expect("entries stay in bounds")
+}
+
+/// RMAT/Kronecker-style power-law pattern, square with side `2^scale`.
+/// Standard parameters `(a, b, c)` with `d = 1 − a − b − c`; the classic
+/// "nice" choice is `(0.57, 0.19, 0.19)`.
+pub fn rmat<R: Rng>(
+    scale: u32,
+    target_nnz: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    rng: &mut R,
+) -> Coo {
+    assert!(scale > 0 && scale < 31);
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    let n: Idx = 1 << scale;
+    let mut set = PairSet::new(n, n);
+    let target = target_nnz.min((n as u64 * n as u64) as usize);
+    let mut guard = 0usize;
+    while set.len() < target && guard < 64 * target.max(1) {
+        guard += 1;
+        let (mut i, mut j) = (0 as Idx, 0 as Idx);
+        for level in (0..scale).rev() {
+            let x = rng.gen::<f64>();
+            let bit = 1 << level;
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + b {
+                j |= bit;
+            } else if x < a + b + c {
+                i |= bit;
+            } else {
+                i |= bit;
+                j |= bit;
+            }
+        }
+        set.insert(i, j);
+    }
+    set.into_coo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::PatternStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_diagonal_has_no_far_coupling() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let a = block_diagonal(4, 10, 0.3, 3, &mut rng);
+        assert_eq!(a.rows(), 40);
+        for (i, j) in a.iter() {
+            let bi = i / 10;
+            let bj = j / 10;
+            assert!(
+                bi == bj || bi + 1 == bj || bj + 1 == bi,
+                "entry ({i},{j}) couples non-adjacent blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn arrow_shape() {
+        let a = arrow(20, 2);
+        // Dense border rows.
+        let counts = a.row_counts();
+        assert!(counts[18] >= 18);
+        assert!(counts[19] >= 18);
+        assert!(a.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn arrow_rejects_oversized_border() {
+        let result = std::panic::catch_unwind(|| arrow(5, 5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = rmat(8, 2000, 0.57, 0.19, 0.19, &mut rng);
+        assert_eq!(a.rows(), 256);
+        assert!(a.nnz() >= 1500, "rmat fell far short: {}", a.nnz());
+        let s = PatternStats::compute(&a);
+        assert!(s.max_row_nnz as f64 > 4.0 * s.avg_row_nnz);
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(6, 500, 0.55, 0.2, 0.2, &mut StdRng::seed_from_u64(8));
+        let b = rmat(6, 500, 0.55, 0.2, 0.2, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Skewed-degree patterns: Chung–Lu graphs, scale-free directed patterns,
+//! and bipartite term–document matrices.
+//!
+//! Matrices with a few very dense rows/columns are exactly the regime where
+//! 1D models pay a large communication price and the medium-grain split
+//! heuristic's "small row/column wins" rule matters, so the synthetic
+//! collection needs a healthy share of them.
+
+use super::PairSet;
+use crate::{Coo, Idx};
+use rand::Rng;
+
+/// Draws an index from a discrete distribution given by cumulative weights.
+fn sample_cdf<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
+    let x = rng.gen::<f64>() * cdf.last().copied().unwrap_or(1.0);
+    cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
+}
+
+/// Power-law weights `w_k = (k+1)^(−alpha)`, as a cumulative distribution.
+fn powerlaw_cdf(n: usize, alpha: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += ((k + 1) as f64).powf(-alpha);
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Chung–Lu style structurally symmetric pattern with power-law degrees
+/// (exponent `alpha`, typically 0.5–1.5), full diagonal.
+pub fn chung_lu_symmetric<R: Rng>(n: Idx, target_nnz: usize, alpha: f64, rng: &mut R) -> Coo {
+    assert!(n > 0);
+    let cdf = powerlaw_cdf(n as usize, alpha);
+    let mut set = PairSet::new(n, n);
+    for d in 0..n {
+        set.insert(d, d);
+    }
+    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let mut guard = 0usize;
+    while set.len() + 1 < target && guard < 64 * target {
+        guard += 1;
+        let i = sample_cdf(&cdf, rng) as Idx;
+        let j = sample_cdf(&cdf, rng) as Idx;
+        if i == j {
+            continue;
+        }
+        if set.insert(i, j) {
+            set.insert(j, i);
+        }
+    }
+    let coo = set.into_coo();
+    debug_assert!(coo.is_pattern_symmetric());
+    coo
+}
+
+/// Directed scale-free pattern: row and column indices drawn from
+/// independent power laws (different exponents give asymmetric hub
+/// structure). Square and almost surely non-symmetric.
+pub fn scale_free_directed<R: Rng>(
+    n: Idx,
+    target_nnz: usize,
+    row_alpha: f64,
+    col_alpha: f64,
+    rng: &mut R,
+) -> Coo {
+    assert!(n > 0);
+    let row_cdf = powerlaw_cdf(n as usize, row_alpha);
+    let col_cdf = powerlaw_cdf(n as usize, col_alpha);
+    let mut set = PairSet::new(n, n);
+    for d in 0..n {
+        set.insert(d, d);
+    }
+    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let mut guard = 0usize;
+    while set.len() < target && guard < 64 * target {
+        guard += 1;
+        let i = sample_cdf(&row_cdf, rng) as Idx;
+        let j = sample_cdf(&col_cdf, rng) as Idx;
+        set.insert(i, j);
+    }
+    set.into_coo()
+}
+
+/// Bipartite "term–document" pattern: `rows` terms × `cols` documents, term
+/// popularity power-law distributed, every document non-empty with
+/// `avg_terms` entries on average. Rectangular.
+pub fn term_document<R: Rng>(rows: Idx, cols: Idx, avg_terms: usize, rng: &mut R) -> Coo {
+    assert!(rows > 0 && cols > 0 && avg_terms > 0);
+    let cdf = powerlaw_cdf(rows as usize, 1.0);
+    let mut set = PairSet::new(rows, cols);
+    for doc in 0..cols {
+        // 1..2*avg_terms entries per document, clamped to the term count.
+        let k = rng.gen_range(1..=(2 * avg_terms).max(2)).min(rows as usize);
+        let mut guard = 0usize;
+        let mut placed = 0usize;
+        while placed < k && guard < 32 * k {
+            guard += 1;
+            let term = sample_cdf(&cdf, rng) as Idx;
+            if set.insert(term, doc) {
+                placed += 1;
+            }
+        }
+    }
+    set.into_coo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{MatrixClass, PatternStats};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chung_lu_is_symmetric_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = chung_lu_symmetric(200, 2000, 0.9, &mut rng);
+        assert!(a.is_pattern_symmetric());
+        let counts = a.row_counts();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 4 * min.max(1), "expected skew, got max={max} min={min}");
+    }
+
+    #[test]
+    fn scale_free_is_square_nonsymmetric() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = scale_free_directed(150, 1500, 0.8, 1.2, &mut rng);
+        let s = PatternStats::compute(&a);
+        assert_eq!(s.class(), MatrixClass::SquareNonSymmetric);
+    }
+
+    #[test]
+    fn term_document_has_no_empty_documents() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = term_document(300, 120, 6, &mut rng);
+        assert_eq!(PatternStats::compute(&a).class(), MatrixClass::Rectangular);
+        let col_counts = a.col_counts();
+        assert!(col_counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn cdf_sampling_in_range() {
+        let cdf = powerlaw_cdf(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert!(sample_cdf(&cdf, &mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = chung_lu_symmetric(80, 700, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = chung_lu_symmetric(80, 700, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Erdős–Rényi style uniform random patterns.
+
+use super::PairSet;
+use crate::{Coo, Idx};
+use rand::Rng;
+
+/// A random `rows × cols` pattern with (close to) `target_nnz` distinct
+/// nonzeros sampled uniformly. Exact when `target_nnz ≤ rows·cols`, in which
+/// case rejection sampling always terminates; the target is clamped
+/// otherwise.
+pub fn erdos_renyi<R: Rng>(rows: Idx, cols: Idx, target_nnz: usize, rng: &mut R) -> Coo {
+    assert!(rows > 0 && cols > 0, "dimensions must be positive");
+    let cells = rows as u64 * cols as u64;
+    let target = (target_nnz as u64).min(cells) as usize;
+    let mut set = PairSet::new(rows, cols);
+    if target as u64 > cells / 2 {
+        // Dense regime: enumerate cells and keep each with the right
+        // probability, then top up/trim to hit the target exactly.
+        let keep = target as f64 / cells as f64;
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.gen::<f64>() < keep {
+                    set.insert(i, j);
+                }
+            }
+        }
+        while set.len() < target {
+            set.insert(rng.gen_range(0..rows), rng.gen_range(0..cols));
+        }
+        let mut coo = set.into_coo();
+        if coo.nnz() > target {
+            // Drop uniformly chosen surplus entries.
+            let mut entries: Vec<(Idx, Idx)> = coo.entries().to_vec();
+            while entries.len() > target {
+                let victim = rng.gen_range(0..entries.len());
+                entries.swap_remove(victim);
+            }
+            coo = Coo::new(rows, cols, entries).expect("entries stay in bounds");
+        }
+        coo
+    } else {
+        while set.len() < target {
+            set.insert(rng.gen_range(0..rows), rng.gen_range(0..cols));
+        }
+        set.into_coo()
+    }
+}
+
+/// Square Erdős–Rényi pattern with a guaranteed full diagonal (a common
+/// shape for solver matrices); `target_nnz` counts the diagonal.
+pub fn erdos_renyi_square<R: Rng>(n: Idx, target_nnz: usize, rng: &mut R) -> Coo {
+    assert!(n > 0);
+    let mut set = PairSet::new(n, n);
+    for d in 0..n {
+        set.insert(d, d);
+    }
+    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    while set.len() < target {
+        set.insert(rng.gen_range(0..n), rng.gen_range(0..n));
+    }
+    set.into_coo()
+}
+
+/// Structurally symmetric random pattern: off-diagonal entries are sampled
+/// as unordered pairs and mirrored; the diagonal is filled.
+///
+/// `target_nnz` is approximate (symmetrisation makes exact targets awkward);
+/// the result has pattern symmetry exactly 1.
+pub fn random_symmetric<R: Rng>(n: Idx, target_nnz: usize, rng: &mut R) -> Coo {
+    assert!(n > 0);
+    let mut set = PairSet::new(n, n);
+    for d in 0..n {
+        set.insert(d, d);
+    }
+    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    // Each accepted off-diagonal pair adds two entries.
+    let mut guard = 0usize;
+    while set.len() + 1 < target && guard < 64 * target {
+        guard += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        if set.insert(i, j) {
+            set.insert(j, i);
+        }
+    }
+    let coo = set.into_coo();
+    debug_assert!(coo.is_pattern_symmetric());
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hits_target_exactly_in_sparse_regime() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = erdos_renyi(100, 80, 500, &mut rng);
+        assert_eq!(a.nnz(), 500);
+        assert_eq!(a.rows(), 100);
+        assert_eq!(a.cols(), 80);
+    }
+
+    #[test]
+    fn hits_target_exactly_in_dense_regime() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = erdos_renyi(20, 20, 350, &mut rng);
+        assert_eq!(a.nnz(), 350);
+    }
+
+    #[test]
+    fn clamps_to_full_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = erdos_renyi(5, 5, 100, &mut rng);
+        assert_eq!(a.nnz(), 25);
+    }
+
+    #[test]
+    fn square_variant_has_full_diagonal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = erdos_renyi_square(50, 300, &mut rng);
+        assert_eq!(a.nnz(), 300);
+        for d in 0..50 {
+            assert!(a.contains(d, d));
+        }
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_symmetric(60, 600, &mut rng);
+        assert!(a.is_pattern_symmetric());
+        assert!(a.nnz() >= 60);
+        // Within one mirrored pair of the target.
+        assert!((a.nnz() as i64 - 600).abs() <= 2, "nnz = {}", a.nnz());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = erdos_renyi(40, 40, 200, &mut StdRng::seed_from_u64(9));
+        let b = erdos_renyi(40, 40, 200, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

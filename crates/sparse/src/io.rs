@@ -1,0 +1,353 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! Supports the `matrix coordinate` format in `pattern`, `real`, `integer`
+//! and `complex` fields with `general`, `symmetric` and `skew-symmetric`
+//! storage (symmetric storage is expanded to the full pattern, which is what
+//! the partitioning pipeline expects). Values are parsed for validation but
+//! discarded — see the crate-level note on pattern-only storage.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Coo, Idx, SparseError};
+
+/// How the file stores symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Number of value tokens that follow the two coordinates on each line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Pattern,
+    Real,
+    Integer,
+    Complex,
+}
+
+impl Field {
+    fn value_tokens(self) -> usize {
+        match self {
+            Field::Pattern => 0,
+            Field::Real | Field::Integer => 1,
+            Field::Complex => 2,
+        }
+    }
+}
+
+/// Reads a Matrix Market file from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (line_no, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(SparseError::Parse(0, "empty file".into())),
+        }
+    };
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse(
+            line_no,
+            format!("bad header: {header:?}"),
+        ));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse(
+            line_no,
+            format!("unsupported format {:?} (only coordinate)", tokens[2]),
+        ));
+    }
+    let field = match tokens[3].as_str() {
+        "pattern" => Field::Pattern,
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "complex" => Field::Complex,
+        other => {
+            return Err(SparseError::Parse(
+                line_no,
+                format!("unsupported field {other:?}"),
+            ))
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        // Hermitian patterns behave like symmetric ones.
+        "hermitian" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse(
+                line_no,
+                format!("unsupported symmetry {other:?}"),
+            ))
+        }
+    };
+
+    // Size line (first non-comment, non-blank line).
+    let (size_line_no, size_line) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && !trimmed.starts_with('%') {
+                    break (no + 1, line);
+                }
+            }
+            None => return Err(SparseError::Parse(line_no, "missing size line".into())),
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(
+            size_line_no,
+            format!("size line must have 3 fields, got {:?}", size_line),
+        ));
+    }
+    let parse_dim = |s: &str, no: usize| -> Result<u64, SparseError> {
+        s.parse::<u64>()
+            .map_err(|e| SparseError::Parse(no, format!("bad integer {s:?}: {e}")))
+    };
+    let m = parse_dim(dims[0], size_line_no)?;
+    let n = parse_dim(dims[1], size_line_no)?;
+    let declared_nnz = parse_dim(dims[2], size_line_no)? as usize;
+    if m >= Idx::MAX as u64 || n >= Idx::MAX as u64 {
+        return Err(SparseError::Parse(
+            size_line_no,
+            "dimensions exceed u32 index space".into(),
+        ));
+    }
+
+    let mut entries: Vec<(Idx, Idx)> = Vec::with_capacity(declared_nnz);
+    let mut seen = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i = parse_dim(
+            it.next()
+                .ok_or_else(|| SparseError::Parse(no + 1, "missing row index".into()))?,
+            no + 1,
+        )?;
+        let j = parse_dim(
+            it.next()
+                .ok_or_else(|| SparseError::Parse(no + 1, "missing column index".into()))?,
+            no + 1,
+        )?;
+        let values: Vec<&str> = it.collect();
+        if values.len() < field.value_tokens() {
+            return Err(SparseError::Parse(
+                no + 1,
+                format!(
+                    "expected {} value token(s), got {}",
+                    field.value_tokens(),
+                    values.len()
+                ),
+            ));
+        }
+        if i == 0 || j == 0 || i > m || j > n {
+            return Err(SparseError::Parse(
+                no + 1,
+                format!("coordinate ({i}, {j}) out of bounds for {m}x{n}"),
+            ));
+        }
+        let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
+        entries.push((i0, j0));
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if i0 != j0 => entries.push((j0, i0)),
+            Symmetry::SkewSymmetric if i0 != j0 => entries.push((j0, i0)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse(
+            size_line_no,
+            format!("size line declares {declared_nnz} entries, file has {seen}"),
+        ));
+    }
+    Coo::new(m as Idx, n as Idx, entries)
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<Coo, SparseError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(file)
+}
+
+/// Writes a matrix as `matrix coordinate pattern general`.
+pub fn write_matrix_market<W: Write>(a: &Coo, mut writer: W) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(writer, "% written by mg-sparse")?;
+    writeln!(writer, "{} {} {}", a.rows(), a.cols(), a.nnz())?;
+    for (i, j) in a.iter() {
+        writeln!(writer, "{} {}", i + 1, j + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(a: &Coo, path: P) -> Result<(), SparseError> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(a, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_pattern_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1\n\
+                    2 3\n\
+                    3 4\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.entries(), &[(0, 0), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn reads_real_values_and_discards_them() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 2\n\
+                    1 2 3.5\n\
+                    2 1 -1e-3\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.entries(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn expands_symmetric_storage() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 1.0\n\
+                    2 1 2.0\n\
+                    3 2 3.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.entries(), &[(0, 0), (0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(a.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn rejects_bad_header_and_counts() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = Coo::new(5, 3, vec![(0, 0), (2, 1), (4, 2), (1, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let a = Coo::empty(2, 2);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_skew_symmetric_and_hermitian() {
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    3 3 2\n\
+                    2 1 1.0\n\
+                    3 1 -2.0\n";
+        let a = read_matrix_market(skew.as_bytes()).unwrap();
+        // Off-diagonal entries mirrored: 4 stored nonzeros.
+        assert_eq!(a.nnz(), 4);
+        assert!(a.contains(0, 1) && a.contains(1, 0));
+
+        let herm = "%%MatrixMarket matrix coordinate complex hermitian\n\
+                    2 2 2\n\
+                    1 1 1.0 0.0\n\
+                    2 1 0.5 -0.5\n";
+        let b = read_matrix_market(herm.as_bytes()).unwrap();
+        assert_eq!(b.nnz(), 3);
+        assert!(b.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn rejects_missing_value_tokens() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 1\n\
+                   1 1\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+        let bad_complex = "%%MatrixMarket matrix coordinate complex general\n\
+                           2 2 1\n\
+                           1 1 1.0\n";
+        assert!(read_matrix_market(bad_complex.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_formats() {
+        let arr = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        assert!(read_matrix_market(arr.as_bytes()).is_err());
+        let field = "%%MatrixMarket matrix coordinate quaternion general\n1 1 0\n";
+        assert!(read_matrix_market(field.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_comments_between_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    \n\
+                    % leading comment\n\
+                    2 2 2\n\
+                    % interior comment\n\
+                    1 1\n\
+                    \n\
+                    2 2\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 3\n\
+                    1 1\n\
+                    1 1\n\
+                    2 2\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let a = Coo::new(4, 4, vec![(0, 1), (3, 2)]).unwrap();
+        let path = std::env::temp_dir().join("mg_sparse_io_test.mtx");
+        write_matrix_market_file(&a, &path).unwrap();
+        let b = read_matrix_market_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! # mg-sparse — sparse matrix substrate
+//!
+//! This crate provides everything the medium-grain reproduction needs to talk
+//! about sparse matrices *as data to be distributed*, rather than as numerical
+//! operators:
+//!
+//! * [`Coo`] — the canonical pattern-only triplet representation every other
+//!   crate builds on (row-major sorted, deduplicated),
+//! * [`Csr`] / [`Csc`] — compressed views used by model builders and metrics,
+//! * [`io`] — Matrix Market reading and writing,
+//! * [`stats`] — pattern statistics and the paper's three-way matrix
+//!   classification (rectangular / structurally symmetric / square
+//!   non-symmetric),
+//! * [`gen`] — deterministic synthetic matrix generators standing in for the
+//!   University of Florida collection,
+//! * [`partition`] — nonzero partitions, the communication-volume metric
+//!   (eqn (3) of the paper) and the load-imbalance constraint (eqn (1)),
+//! * [`bsp`] — greedy vector distribution and the BSP cost metric used in
+//!   Table II of the paper,
+//! * [`spmv`] — a step-by-step parallel SpMV *simulator* that counts every
+//!   communicated word, used to validate the closed-form volume metric.
+//!
+//! Matrix *values* are deliberately not stored: the partitioning problem is a
+//! property of the nonzero pattern alone. Where values are needed (the SpMV
+//! simulator), they are synthesised deterministically from the coordinates.
+
+pub mod bsp;
+pub mod coo;
+pub mod csr;
+pub mod dist_io;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod spmv;
+pub mod spy;
+pub mod stats;
+
+pub use bsp::{bsp_cost, BspCost, VectorDistribution};
+pub use coo::Coo;
+pub use csr::{Csc, Csr};
+pub use partition::{
+    col_lambdas, communication_volume, load_imbalance, max_part_size, part_budget, row_lambdas,
+    NonzeroPartition, PartitionError,
+};
+pub use spy::{spy, spy_partitioned, CommunicationReport};
+pub use stats::{MatrixClass, PatternStats};
+
+/// Index type used for rows, columns and nonzero ids throughout the workspace.
+///
+/// `u32` keeps the hot data structures (pin lists, gain buckets) at half the
+/// cache footprint of `usize` on 64-bit targets; the paper's largest inputs
+/// (5·10⁶ nonzeros) are far below the 2³²−1 limit, which constructors assert.
+pub type Idx = u32;
+
+/// Errors arising while constructing or reading matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row index is out of bounds: `(row, rows)`.
+    RowOutOfBounds(Idx, Idx),
+    /// An entry's column index is out of bounds: `(col, cols)`.
+    ColOutOfBounds(Idx, Idx),
+    /// More nonzeros than the index type can address.
+    TooManyNonzeros(usize),
+    /// A Matrix Market parse problem, with a line number and message.
+    Parse(usize, String),
+    /// An I/O failure converted to a string (keeps the error type `Clone`).
+    Io(String),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::RowOutOfBounds(r, m) => {
+                write!(f, "row index {r} out of bounds for {m} rows")
+            }
+            SparseError::ColOutOfBounds(c, n) => {
+                write!(f, "column index {c} out of bounds for {n} columns")
+            }
+            SparseError::TooManyNonzeros(nnz) => {
+                write!(f, "{nnz} nonzeros exceed the u32 index space")
+            }
+            SparseError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+            SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

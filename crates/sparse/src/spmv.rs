@@ -1,0 +1,241 @@
+//! A message-counting simulator of parallel sparse matrix–vector
+//! multiplication.
+//!
+//! The paper's cost model (eqns (2)–(3)) is a *closed form* for the words
+//! communicated by the four-step parallel SpMV of §I (fan-out, local
+//! multiply, fan-in, summation). This module executes those four steps
+//! explicitly for a partitioned matrix, counting every transferred word and
+//! producing the actual output vector, so tests can assert that
+//!
+//! * the counted words equal [`crate::partition::communication_volume`], and
+//! * the distributed result equals a serial SpMV bit-for-bit.
+//!
+//! Matrix values are synthesised as small integers (exactly representable in
+//! `f64`), which makes floating-point summation order-independent and the
+//! equality check exact.
+
+use crate::bsp::{distribute_vectors, VectorDistribution};
+use crate::partition::NonzeroPartition;
+use crate::{Coo, Idx};
+
+/// Deterministic value for nonzero `(i, j)`: a small positive integer, so
+/// sums of millions of terms stay exactly representable in `f64`.
+#[inline]
+pub fn synthetic_value(i: Idx, j: Idx) -> f64 {
+    ((i as u64 * 31 + j as u64 * 17) % 97 + 1) as f64
+}
+
+/// Deterministic input-vector entry `v_j`.
+#[inline]
+pub fn synthetic_input(j: Idx) -> f64 {
+    ((j as u64 * 7) % 13 + 1) as f64
+}
+
+/// Outcome of a simulated parallel SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvReport {
+    /// Words moved in the fan-out phase (input-vector entries).
+    pub fanout_words: u64,
+    /// Words moved in the fan-in phase (partial sums).
+    pub fanin_words: u64,
+    /// Per-part words sent during fan-out.
+    pub fanout_send: Vec<u64>,
+    /// Per-part words received during fan-out.
+    pub fanout_recv: Vec<u64>,
+    /// Per-part words sent during fan-in.
+    pub fanin_send: Vec<u64>,
+    /// Per-part words received during fan-in.
+    pub fanin_recv: Vec<u64>,
+    /// The assembled output vector `u = A·v`.
+    pub output: Vec<f64>,
+    /// Per-part local multiplication counts (equals the part sizes).
+    pub local_flops: Vec<u64>,
+}
+
+impl SpmvReport {
+    /// Total communicated words — must equal the communication volume.
+    pub fn total_words(&self) -> u64 {
+        self.fanout_words + self.fanin_words
+    }
+}
+
+/// Serial reference SpMV with the synthetic values.
+pub fn serial_spmv(a: &Coo) -> Vec<f64> {
+    let mut u = vec![0.0f64; a.rows() as usize];
+    for (i, j) in a.iter() {
+        u[i as usize] += synthetic_value(i, j) * synthetic_input(j);
+    }
+    u
+}
+
+/// Simulates the four-step parallel SpMV of §I under `partition`, using the
+/// greedy vector distribution unless one is supplied.
+pub fn simulate_spmv(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    distribution: Option<&VectorDistribution>,
+) -> SpmvReport {
+    partition
+        .check_against(a)
+        .expect("partition does not match matrix");
+    let p = partition.num_parts() as usize;
+    let owned;
+    let dist = match distribution {
+        Some(d) => d,
+        None => {
+            owned = distribute_vectors(a, partition);
+            &owned
+        }
+    };
+
+    let mut fanout_send = vec![0u64; p];
+    let mut fanout_recv = vec![0u64; p];
+    let mut fanin_send = vec![0u64; p];
+    let mut fanin_recv = vec![0u64; p];
+    let mut local_flops = vec![0u64; p];
+
+    // Step 1 — fan-out. Each part builds the set of input entries it needs;
+    // the owner "sends" every entry needed by another part. `have[q]` holds
+    // part q's local copy of the input vector (sparse, keyed by column).
+    // A stamp array tracks which (part, column) pairs are needed.
+    let n = a.cols() as usize;
+    let mut needed = vec![false; p * n];
+    for (k, &(_, j)) in a.entries().iter().enumerate() {
+        let q = partition.part_of(k) as usize;
+        needed[q * n + j as usize] = true;
+    }
+    for j in 0..n {
+        let owner = dist.input_owner[j] as usize;
+        for q in 0..p {
+            if needed[q * n + j] && q != owner {
+                fanout_send[owner] += 1;
+                fanout_recv[q] += 1;
+            }
+        }
+    }
+
+    // Step 2 — local multiplication into per-part partial sums.
+    let m = a.rows() as usize;
+    let mut partial = vec![0.0f64; p * m];
+    let mut touched = vec![false; p * m];
+    for (k, &(i, j)) in a.entries().iter().enumerate() {
+        let q = partition.part_of(k) as usize;
+        // The needed input entry is locally available after fan-out.
+        debug_assert!(needed[q * n + j as usize]);
+        partial[q * m + i as usize] += synthetic_value(i, j) * synthetic_input(j);
+        touched[q * m + i as usize] = true;
+        local_flops[q] += 1;
+    }
+
+    // Step 3 — fan-in: every part with a nonzero partial sum for row i sends
+    // it to the owner of u_i (unless it is the owner).
+    // Step 4 — summation at the owner.
+    let mut output = vec![0.0f64; m];
+    for i in 0..m {
+        let owner = dist.output_owner[i] as usize;
+        let mut acc = 0.0f64;
+        for q in 0..p {
+            if touched[q * m + i] {
+                if q != owner {
+                    fanin_send[q] += 1;
+                    fanin_recv[owner] += 1;
+                }
+                acc += partial[q * m + i];
+            }
+        }
+        output[i] = acc;
+    }
+
+    SpmvReport {
+        fanout_words: fanout_send.iter().sum(),
+        fanin_words: fanin_send.iter().sum(),
+        fanout_send,
+        fanout_recv,
+        fanin_send,
+        fanin_recv,
+        output,
+        local_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::communication_volume;
+
+    fn dense(n: Idx) -> Coo {
+        let entries: Vec<(Idx, Idx)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .collect();
+        Coo::new(n, n, entries).unwrap()
+    }
+
+    #[test]
+    fn single_part_no_communication_and_correct_result() {
+        let a = dense(6);
+        let p = NonzeroPartition::trivial(a.nnz());
+        let report = simulate_spmv(&a, &p, None);
+        assert_eq!(report.total_words(), 0);
+        assert_eq!(report.output, serial_spmv(&a));
+        assert_eq!(report.local_flops, vec![36]);
+    }
+
+    #[test]
+    fn counted_words_equal_volume_checkerboard() {
+        let a = dense(5);
+        let parts: Vec<Idx> = a.iter().map(|(i, j)| (i + j) % 2).collect();
+        let p = NonzeroPartition::new(2, parts).unwrap();
+        let report = simulate_spmv(&a, &p, None);
+        assert_eq!(report.total_words(), communication_volume(&a, &p));
+        assert_eq!(report.output, serial_spmv(&a));
+    }
+
+    #[test]
+    fn counted_words_equal_volume_four_parts() {
+        let a = dense(8);
+        let parts: Vec<Idx> = a.iter().map(|(i, j)| 2 * (i / 4) + j / 4).collect();
+        let p = NonzeroPartition::new(4, parts).unwrap();
+        let report = simulate_spmv(&a, &p, None);
+        assert_eq!(report.total_words(), communication_volume(&a, &p));
+        assert_eq!(report.output, serial_spmv(&a));
+        // 2x2 block partition of a dense 8x8: every row and column is cut once.
+        assert_eq!(report.total_words(), 16);
+    }
+
+    #[test]
+    fn report_consistent_with_bsp_cost() {
+        use crate::bsp::bsp_cost_with;
+        let a = dense(7);
+        let parts: Vec<Idx> = a.iter().map(|(i, j)| (i * 7 + j) % 3).collect();
+        let p = NonzeroPartition::new(3, parts).unwrap();
+        let dist = distribute_vectors(&a, &p);
+        let report = simulate_spmv(&a, &p, Some(&dist));
+        let cost = bsp_cost_with(&a, &p, Some(&dist));
+        let h_out = report
+            .fanout_send
+            .iter()
+            .zip(&report.fanout_recv)
+            .map(|(&s, &r)| s.max(r))
+            .max()
+            .unwrap();
+        let h_in = report
+            .fanin_send
+            .iter()
+            .zip(&report.fanin_recv)
+            .map(|(&s, &r)| s.max(r))
+            .max()
+            .unwrap();
+        assert_eq!(cost.fanout_h, h_out);
+        assert_eq!(cost.fanin_h, h_in);
+    }
+
+    #[test]
+    fn rectangular_matrix_works() {
+        let a = Coo::new(3, 5, vec![(0, 0), (0, 4), (1, 2), (2, 2), (2, 3)]).unwrap();
+        let parts = vec![0, 1, 0, 1, 1];
+        let p = NonzeroPartition::new(2, parts).unwrap();
+        let report = simulate_spmv(&a, &p, None);
+        assert_eq!(report.total_words(), communication_volume(&a, &p));
+        assert_eq!(report.output, serial_spmv(&a));
+    }
+}

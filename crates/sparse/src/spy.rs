@@ -1,0 +1,201 @@
+//! Terminal "spy plots" of (partitioned) sparse matrices — the ASCII
+//! analogue of the paper's Fig 3 pictures.
+//!
+//! Large matrices are downsampled onto a character grid; each cell shows
+//! the dominant part among the nonzeros it covers (digits/letters per
+//! part), or `·` for empty regions. Unpartitioned patterns use `x`.
+
+use crate::partition::NonzeroPartition;
+use crate::{Coo, Idx};
+
+/// Characters used for parts 0-61; parts beyond that wrap around.
+const PART_GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Renders the nonzero pattern of `a` on a grid of at most
+/// `max_width × max_height` characters.
+pub fn spy(a: &Coo, max_width: usize, max_height: usize) -> String {
+    render(a, None, max_width, max_height)
+}
+
+/// Renders a partitioned matrix: each cell shows the part owning the
+/// majority of its covered nonzeros.
+pub fn spy_partitioned(
+    a: &Coo,
+    partition: &NonzeroPartition,
+    max_width: usize,
+    max_height: usize,
+) -> String {
+    render(a, Some(partition), max_width, max_height)
+}
+
+fn render(
+    a: &Coo,
+    partition: Option<&NonzeroPartition>,
+    max_width: usize,
+    max_height: usize,
+) -> String {
+    let width = (a.cols() as usize).clamp(1, max_width.max(1));
+    let height = (a.rows() as usize).clamp(1, max_height.max(1));
+    let parts = partition.map_or(1, |p| p.num_parts() as usize);
+
+    // counts[cell][part] with a flat layout.
+    let mut counts = vec![0u32; width * height * parts];
+    for (k, &(i, j)) in a.entries().iter().enumerate() {
+        let y = (i as u64 * height as u64 / a.rows().max(1) as u64) as usize;
+        let x = (j as u64 * width as u64 / a.cols().max(1) as u64) as usize;
+        let q = partition.map_or(0, |p| p.part_of(k) as usize);
+        counts[(y * width + x) * parts + q] += 1;
+    }
+
+    let mut out = String::with_capacity(height * (width + 3));
+    out.push('┌');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┐\n");
+    for y in 0..height {
+        out.push('│');
+        for x in 0..width {
+            let cell = &counts[(y * width + x) * parts..(y * width + x + 1) * parts];
+            let total: u32 = cell.iter().sum();
+            if total == 0 {
+                out.push('·');
+            } else if partition.is_none() {
+                out.push('x');
+            } else {
+                let best = cell
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(q, _)| q)
+                    .unwrap_or(0);
+                out.push(PART_GLYPHS[best % PART_GLYPHS.len()] as char);
+            }
+        }
+        out.push_str("│\n");
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(width));
+    out.push_str("┘\n");
+    out
+}
+
+/// A per-line communication breakdown of a partitioned matrix — the
+/// numbers behind the volume metric, for reports and debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunicationReport {
+    /// Number of rows with λ ≥ 2 (cut rows).
+    pub cut_rows: Idx,
+    /// Number of columns with λ ≥ 2.
+    pub cut_cols: Idx,
+    /// Σ (λ−1) over rows — fan-in volume.
+    pub row_volume: u64,
+    /// Σ (λ−1) over columns — fan-out volume.
+    pub col_volume: u64,
+    /// Largest λ over all rows and columns.
+    pub max_lambda: Idx,
+    /// Nonzeros per part.
+    pub part_sizes: Vec<u64>,
+}
+
+impl CommunicationReport {
+    /// Computes the breakdown.
+    pub fn compute(a: &Coo, partition: &NonzeroPartition) -> Self {
+        let rl = crate::partition::row_lambdas(a, partition);
+        let cl = crate::partition::col_lambdas(a, partition);
+        CommunicationReport {
+            cut_rows: rl.iter().filter(|&&l| l >= 2).count() as Idx,
+            cut_cols: cl.iter().filter(|&&l| l >= 2).count() as Idx,
+            row_volume: rl.iter().map(|&l| (l as u64).saturating_sub(1)).sum(),
+            col_volume: cl.iter().map(|&l| (l as u64).saturating_sub(1)).sum(),
+            max_lambda: rl.iter().chain(cl.iter()).copied().max().unwrap_or(0),
+            part_sizes: partition.part_sizes(),
+        }
+    }
+
+    /// Total volume (must equal [`crate::communication_volume`]).
+    pub fn total_volume(&self) -> u64 {
+        self.row_volume + self.col_volume
+    }
+
+    /// Renders a compact text summary.
+    pub fn render(&self) -> String {
+        format!(
+            "volume {} (rows {} + cols {}), cut rows {}, cut cols {}, \
+             max λ {}, part sizes {:?}",
+            self.total_volume(),
+            self.row_volume,
+            self.col_volume,
+            self.cut_rows,
+            self.cut_cols,
+            self.max_lambda,
+            self.part_sizes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::communication_volume;
+
+    fn dense(n: Idx) -> Coo {
+        let entries: Vec<(Idx, Idx)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .collect();
+        Coo::new(n, n, entries).unwrap()
+    }
+
+    #[test]
+    fn spy_shows_pattern() {
+        let a = Coo::new(3, 3, vec![(0, 0), (1, 1), (2, 2)]).unwrap();
+        let art = spy(&a, 10, 10);
+        assert_eq!(art.matches('x').count(), 3);
+        assert!(art.contains('·'));
+    }
+
+    #[test]
+    fn spy_partitioned_uses_part_glyphs() {
+        let a = dense(4);
+        let parts: Vec<Idx> = a.iter().map(|(i, _)| (i >= 2) as Idx).collect();
+        let p = NonzeroPartition::new(2, parts).unwrap();
+        let art = spy_partitioned(&a, &p, 8, 8);
+        assert!(art.contains('0'));
+        assert!(art.contains('1'));
+        assert!(!art.contains('x'));
+    }
+
+    #[test]
+    fn downsampling_keeps_grid_bounds() {
+        let a = dense(40);
+        let p = NonzeroPartition::trivial(a.nnz());
+        let art = spy_partitioned(&a, &p, 10, 6);
+        // 6 content lines + 2 border lines.
+        assert_eq!(art.lines().count(), 8);
+        for line in art.lines().skip(1).take(6) {
+            assert_eq!(line.chars().count(), 12); // │ + 10 + │
+        }
+    }
+
+    #[test]
+    fn report_matches_volume_metric() {
+        let a = dense(5);
+        let parts: Vec<Idx> = a.iter().map(|(i, j)| (i + j) % 3).collect();
+        let p = NonzeroPartition::new(3, parts).unwrap();
+        let report = CommunicationReport::compute(&a, &p);
+        assert_eq!(report.total_volume(), communication_volume(&a, &p));
+        assert_eq!(report.cut_rows, 5);
+        assert_eq!(report.cut_cols, 5);
+        assert!(report.max_lambda <= 3);
+        assert_eq!(report.part_sizes.iter().sum::<u64>() as usize, a.nnz());
+        assert!(report.render().contains("volume"));
+    }
+
+    #[test]
+    fn single_part_report_is_clean() {
+        let a = dense(3);
+        let p = NonzeroPartition::trivial(a.nnz());
+        let report = CommunicationReport::compute(&a, &p);
+        assert_eq!(report.total_volume(), 0);
+        assert_eq!(report.cut_rows, 0);
+        assert_eq!(report.max_lambda, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Pattern statistics and the paper's matrix classification.
+//!
+//! The evaluation in §IV splits the test set into three classes:
+//! rectangular matrices, structurally symmetric matrices (pattern symmetry
+//! exactly one), and square non-symmetric matrices (pattern symmetry below
+//! one). [`PatternStats`] computes the quantities needed for that split plus
+//! a few extra descriptors used by the generators' self-tests.
+
+use crate::{Coo, Idx};
+
+/// The three matrix classes of the paper's evaluation (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixClass {
+    /// `m != n`.
+    Rectangular,
+    /// Square with nonzero-pattern symmetry equal to one.
+    Symmetric,
+    /// Square with nonzero-pattern symmetry below one.
+    SquareNonSymmetric,
+}
+
+impl std::fmt::Display for MatrixClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixClass::Rectangular => write!(f, "rectangular"),
+            MatrixClass::Symmetric => write!(f, "symmetric"),
+            MatrixClass::SquareNonSymmetric => write!(f, "square-nonsymmetric"),
+        }
+    }
+}
+
+/// Summary statistics of a nonzero pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Number of rows `m`.
+    pub rows: Idx,
+    /// Number of columns `n`.
+    pub cols: Idx,
+    /// Number of nonzeros `N`.
+    pub nnz: usize,
+    /// Fraction of off-diagonal nonzeros whose transposed position is also a
+    /// nonzero; `1.0` for empty or diagonal-only square patterns.
+    pub pattern_symmetry: f64,
+    /// Rows with no nonzeros.
+    pub empty_rows: Idx,
+    /// Columns with no nonzeros.
+    pub empty_cols: Idx,
+    /// Largest number of nonzeros in any row.
+    pub max_row_nnz: Idx,
+    /// Largest number of nonzeros in any column.
+    pub max_col_nnz: Idx,
+    /// Average nonzeros per row.
+    pub avg_row_nnz: f64,
+    /// Number of stored diagonal entries (square part only).
+    pub diagonal_nnz: Idx,
+}
+
+impl PatternStats {
+    /// Computes all statistics in `O(N log N)` (dominated by symmetry probes).
+    pub fn compute(a: &Coo) -> Self {
+        let row_counts = a.row_counts();
+        let col_counts = a.col_counts();
+        let empty_rows = row_counts.iter().filter(|&&c| c == 0).count() as Idx;
+        let empty_cols = col_counts.iter().filter(|&&c| c == 0).count() as Idx;
+        let max_row_nnz = row_counts.iter().copied().max().unwrap_or(0);
+        let max_col_nnz = col_counts.iter().copied().max().unwrap_or(0);
+        let diagonal_nnz = a.iter().filter(|&(i, j)| i == j).count() as Idx;
+
+        let pattern_symmetry = if !a.is_square() {
+            0.0
+        } else {
+            let off_diag = a.nnz() as u64 - diagonal_nnz as u64;
+            if off_diag == 0 {
+                1.0
+            } else {
+                let matched = a
+                    .iter()
+                    .filter(|&(i, j)| i != j && a.contains(j, i))
+                    .count() as u64;
+                matched as f64 / off_diag as f64
+            }
+        };
+
+        PatternStats {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            pattern_symmetry,
+            empty_rows,
+            empty_cols,
+            max_row_nnz,
+            max_col_nnz,
+            avg_row_nnz: if a.rows() == 0 {
+                0.0
+            } else {
+                a.nnz() as f64 / a.rows() as f64
+            },
+            diagonal_nnz,
+        }
+    }
+
+    /// The paper's three-way classification.
+    pub fn class(&self) -> MatrixClass {
+        if self.rows != self.cols {
+            MatrixClass::Rectangular
+        } else if self.pattern_symmetry >= 1.0 {
+            MatrixClass::Symmetric
+        } else {
+            MatrixClass::SquareNonSymmetric
+        }
+    }
+
+    /// Density `N / (m·n)`; `0` for degenerate dimensions.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows as f64 * self.cols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz as f64 / cells
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_rectangular() {
+        let a = Coo::new(2, 3, vec![(0, 0), (1, 2)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert_eq!(s.class(), MatrixClass::Rectangular);
+        assert_eq!(s.pattern_symmetry, 0.0);
+    }
+
+    #[test]
+    fn classifies_symmetric() {
+        let a = Coo::new(3, 3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 0)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert_eq!(s.pattern_symmetry, 1.0);
+        assert_eq!(s.class(), MatrixClass::Symmetric);
+    }
+
+    #[test]
+    fn classifies_square_nonsymmetric() {
+        let a = Coo::new(3, 3, vec![(0, 1), (1, 2), (2, 1)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert!(s.pattern_symmetry < 1.0);
+        assert_eq!(s.class(), MatrixClass::SquareNonSymmetric);
+    }
+
+    #[test]
+    fn diagonal_only_square_counts_as_symmetric() {
+        let a = Coo::new(2, 2, vec![(0, 0), (1, 1)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert_eq!(s.pattern_symmetry, 1.0);
+        assert_eq!(s.class(), MatrixClass::Symmetric);
+        assert_eq!(s.diagonal_nnz, 2);
+    }
+
+    #[test]
+    fn counts_empties_and_maxima() {
+        let a = Coo::new(4, 4, vec![(0, 0), (0, 1), (0, 2), (2, 0)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert_eq!(s.empty_rows, 2);
+        assert_eq!(s.empty_cols, 1);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.max_col_nnz, 2);
+    }
+
+    #[test]
+    fn half_symmetric_fraction() {
+        // Off-diagonal entries: (0,1),(1,0) matched pair; (0,2) unmatched.
+        let a = Coo::new(3, 3, vec![(0, 1), (1, 0), (0, 2)]).unwrap();
+        let s = PatternStats::compute(&a);
+        assert!((s.pattern_symmetry - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

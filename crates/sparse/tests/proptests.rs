@@ -1,0 +1,135 @@
+//! Property-based tests for the sparse substrate: representation
+//! invariants, metric identities, and the SpMV simulator's agreement with
+//! the closed-form volume.
+
+use mg_sparse::io::{read_matrix_market, write_matrix_market};
+use mg_sparse::partition::communication_volume_reference;
+use mg_sparse::spmv::{serial_spmv, simulate_spmv};
+use mg_sparse::{
+    bsp_cost, communication_volume, load_imbalance, max_part_size, Coo, Csc, Csr, Idx,
+    NonzeroPartition,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random matrix (dims 1..=16, up to 48 candidate
+/// entries, duplicates removed by the constructor).
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (1u32..=16, 1u32..=16).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..48)
+            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
+    })
+}
+
+/// Strategy: a matrix plus a p-way partition of its nonzeros.
+fn arb_partitioned() -> impl Strategy<Value = (Coo, NonzeroPartition)> {
+    (arb_coo(), 1u32..=5).prop_flat_map(|(a, p)| {
+        let nnz = a.nnz();
+        proptest::collection::vec(0..p, nnz..=nnz)
+            .prop_map(move |parts| (a.clone(), NonzeroPartition::new(p, parts).expect("in range")))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(a in arb_coo()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn csr_roundtrips_entries(a in arb_coo()) {
+        let csr = Csr::from_coo(&a);
+        let back: Vec<(Idx, Idx)> = csr.iter().map(|(i, j, _)| (i, j)).collect();
+        prop_assert_eq!(back.as_slice(), a.entries());
+    }
+
+    #[test]
+    fn csc_agrees_with_transpose_csr(a in arb_coo()) {
+        let csc = Csc::from_coo(&a);
+        let t = a.transpose();
+        let tcsr = Csr::from_coo(&t);
+        for j in 0..a.cols() {
+            prop_assert_eq!(csc.col(j), tcsr.row(j));
+        }
+    }
+
+    #[test]
+    fn row_and_col_counts_sum_to_nnz(a in arb_coo()) {
+        let rc: u64 = a.row_counts().iter().map(|&c| c as u64).sum();
+        let cc: u64 = a.col_counts().iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(rc, a.nnz() as u64);
+        prop_assert_eq!(cc, a.nnz() as u64);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(a in arb_coo()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).expect("write");
+        let b = read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The O(N) stamped volume computation agrees with the brute-force
+    /// per-line set oracle.
+    #[test]
+    fn volume_matches_reference((a, p) in arb_partitioned()) {
+        prop_assert_eq!(
+            communication_volume(&a, &p),
+            communication_volume_reference(&a, &p)
+        );
+    }
+
+    /// The SpMV simulator transfers exactly `V` words and computes the
+    /// right answer, for any matrix and partition.
+    #[test]
+    fn simulator_counts_exactly_the_volume((a, p) in arb_partitioned()) {
+        let report = simulate_spmv(&a, &p, None);
+        prop_assert_eq!(report.total_words(), communication_volume(&a, &p));
+        prop_assert_eq!(report.output, serial_spmv(&a));
+    }
+
+    /// Per-phase h-relations can never exceed the phase's total word count,
+    /// and their sum is bounded by the volume.
+    #[test]
+    fn bsp_cost_is_bounded_by_volume((a, p) in arb_partitioned()) {
+        let cost = bsp_cost(&a, &p);
+        prop_assert!(cost.total() <= communication_volume(&a, &p));
+    }
+
+    /// Volume is invariant under part relabeling (swap for bipartitions).
+    #[test]
+    fn volume_invariant_under_swap(a in arb_coo(), flip in proptest::collection::vec(0u32..2, 0..48)) {
+        let nnz = a.nnz();
+        if flip.len() >= nnz {
+            let parts: Vec<Idx> = flip[..nnz].to_vec();
+            let p = NonzeroPartition::new(2, parts).expect("two parts");
+            prop_assert_eq!(
+                communication_volume(&a, &p),
+                communication_volume(&a, &p.swapped())
+            );
+        }
+    }
+
+    #[test]
+    fn imbalance_and_max_part_are_consistent((_, p) in arb_partitioned()) {
+        let n = p.parts().len();
+        if n > 0 {
+            let expected =
+                max_part_size(&p) as f64 * p.num_parts() as f64 / n as f64 - 1.0;
+            prop_assert!((load_imbalance(&p) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn select_preserves_coordinates(a in arb_coo(), mask in proptest::collection::vec(any::<bool>(), 0..48)) {
+        let ids: Vec<Idx> = (0..a.nnz())
+            .filter(|&k| mask.get(k).copied().unwrap_or(false))
+            .map(|k| k as Idx)
+            .collect();
+        let sub = a.select(&ids);
+        prop_assert_eq!(sub.nnz(), ids.len());
+        for &k in &ids {
+            let (i, j) = a.entry(k as usize);
+            prop_assert!(sub.contains(i, j));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the full pipeline from generated matrix
+//! through models, multilevel partitioning, refinement and metrics,
+//! exercised through the public facade exactly as a downstream user would.
+
+use mediumgrain::core::{iterative_refinement, RefineOptions};
+use mediumgrain::prelude::*;
+use mediumgrain::sparse::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPSILON: f64 = 0.03;
+
+fn methods_under_test() -> Vec<Method> {
+    vec![
+        Method::RowNet { refine: false },
+        Method::ColumnNet { refine: false },
+        Method::LocalBest { refine: false },
+        Method::LocalBest { refine: true },
+        Method::FineGrain { refine: false },
+        Method::FineGrain { refine: true },
+        Method::MediumGrain { refine: false },
+        Method::MediumGrain { refine: true },
+    ]
+}
+
+fn workload() -> Vec<(&'static str, mediumgrain::sparse::Coo)> {
+    let mut rng = StdRng::seed_from_u64(77);
+    vec![
+        ("laplace2d", gen::laplacian_2d(24, 24)),
+        ("laplace3d", gen::laplacian_3d(8, 8, 8)),
+        ("chunglu", gen::chung_lu_symmetric(300, 3000, 0.9, &mut rng)),
+        ("scalefree", gen::scale_free_directed(250, 2500, 0.8, 1.2, &mut rng)),
+        ("rect_tall", gen::erdos_renyi(400, 80, 3200, &mut rng)),
+        ("termdoc", gen::term_document(500, 160, 7, &mut rng)),
+        ("arrow", gen::arrow(200, 4)),
+        ("rmat", gen::rmat(9, 4000, 0.57, 0.19, 0.19, &mut rng)),
+    ]
+}
+
+#[test]
+fn every_method_yields_valid_partitions_across_the_workload() {
+    let config = PartitionerConfig::mondriaan_like();
+    for (name, a) in workload() {
+        for method in methods_under_test() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let result = method.bipartition(&a, EPSILON, &config, &mut rng);
+            result.partition.check_against(&a).unwrap();
+            assert_eq!(
+                result.volume,
+                communication_volume(&a, &result.partition),
+                "{name}/{method}: reported volume is stale"
+            );
+            assert!(
+                load_imbalance(&result.partition) <= EPSILON + 1e-9,
+                "{name}/{method}: imbalance {}",
+                load_imbalance(&result.partition)
+            );
+        }
+    }
+}
+
+#[test]
+fn medium_grain_beats_1d_on_2d_structured_matrices() {
+    // The paper's headline claim, on the workloads its introduction
+    // motivates (square matrices with 2D structure). Averaged over seeds
+    // to be robust.
+    let config = PartitionerConfig::mondriaan_like();
+    let a = gen::arrow(300, 5);
+    let mut mg_total = 0u64;
+    let mut lb_total = 0u64;
+    for seed in 0..5 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mg_total += Method::MediumGrain { refine: true }
+            .bipartition(&a, EPSILON, &config, &mut rng)
+            .volume;
+        let mut rng = StdRng::seed_from_u64(seed);
+        lb_total += Method::LocalBest { refine: false }
+            .bipartition(&a, EPSILON, &config, &mut rng)
+            .volume;
+    }
+    assert!(
+        mg_total < lb_total,
+        "medium-grain ({mg_total}) should beat localbest ({lb_total}) on the arrow matrix"
+    );
+}
+
+#[test]
+fn refinement_reduces_or_keeps_volume_for_all_methods() {
+    let config = PartitionerConfig::mondriaan_like();
+    for (name, a) in workload() {
+        for refine in [
+            Method::LocalBest { refine: false },
+            Method::FineGrain { refine: false },
+            Method::MediumGrain { refine: false },
+        ] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let base = refine.bipartition(&a, EPSILON, &config, &mut rng);
+            let refined =
+                iterative_refinement(&a, &base.partition, EPSILON, &RefineOptions::default());
+            assert!(
+                refined.volume <= base.volume,
+                "{name}/{refine}: IR worsened {} -> {}",
+                base.volume,
+                refined.volume
+            );
+        }
+    }
+}
+
+#[test]
+fn spmv_simulation_agrees_with_metric_for_every_method() {
+    use mediumgrain::sparse::spmv::{serial_spmv, simulate_spmv};
+    let config = PartitionerConfig::mondriaan_like();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = gen::erdos_renyi(120, 90, 1500, &mut rng);
+    for method in methods_under_test() {
+        let result = method.bipartition(&a, EPSILON, &config, &mut rng);
+        let report = simulate_spmv(&a, &result.partition, None);
+        assert_eq!(report.total_words(), result.volume, "{method}");
+        assert_eq!(report.output, serial_spmv(&a), "{method}");
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_path() {
+    // Mirrors the README quickstart so the docs cannot rot silently.
+    let a = gen::laplacian_2d(32, 32);
+    let mut rng = StdRng::seed_from_u64(42);
+    let result = Method::MediumGrain { refine: true }.bipartition(
+        &a,
+        EPSILON,
+        &PartitionerConfig::mondriaan_like(),
+        &mut rng,
+    );
+    assert!(result.volume <= 96);
+    assert!(load_imbalance(&result.partition) <= EPSILON + 1e-9);
+    let stats = PatternStats::compute(&a);
+    assert_eq!(stats.class(), MatrixClass::Symmetric);
+    let cost = bsp_cost(&a, &result.partition);
+    assert!(cost.total() <= result.volume);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let config = PartitionerConfig::patoh_like();
+    let a = gen::laplacian_2d_9pt(20, 20);
+    for method in methods_under_test() {
+        let r1 = method.bipartition(&a, EPSILON, &config, &mut StdRng::seed_from_u64(33));
+        let r2 = method.bipartition(&a, EPSILON, &config, &mut StdRng::seed_from_u64(33));
+        assert_eq!(r1.partition, r2.partition, "{method}");
+    }
+}
