@@ -8,18 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mg_core::Method;
 use mg_partitioner::PartitionerConfig;
-use mg_sparse::{gen, Coo};
+use mg_sparse::gen;
+use mg_test_support::fixtures::representative_matrices;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn representative_matrices() -> Vec<(&'static str, Coo)> {
-    let mut rng = StdRng::seed_from_u64(42);
-    vec![
-        ("laplace2d_40", gen::laplacian_2d(40, 40)),
-        ("rmat_s11", gen::rmat(11, 16_000, 0.57, 0.19, 0.19, &mut rng)),
-        ("termdoc_900x300", gen::term_document(900, 300, 8, &mut rng)),
-    ]
-}
 
 /// Fig 4 / Table I: volume-oriented methods, Mondriaan-like engine.
 fn bench_methods(c: &mut Criterion) {
@@ -28,18 +20,14 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     for (name, matrix) in representative_matrices() {
         for method in Method::paper_set() {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), name),
-                &matrix,
-                |b, m| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        method.bipartition(m, 0.03, &config, &mut rng)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), name), &matrix, |b, m| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    method.bipartition(m, 0.03, &config, &mut rng)
+                });
+            });
         }
     }
     group.finish();

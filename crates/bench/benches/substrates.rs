@@ -8,13 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mg_core::{initial_split, iterative_refinement, MediumGrainModel, RefineOptions};
 use mg_hypergraph::{fine_grain_model, row_net_model, VertexBipartition};
 use mg_partitioner::{fm_refine, FmLimits};
-use mg_sparse::{communication_volume, gen, Idx, NonzeroPartition};
+use mg_sparse::{communication_volume, Idx, NonzeroPartition};
+use mg_test_support::fixtures::substrate_bench_matrix as matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn matrix() -> mg_sparse::Coo {
-    gen::laplacian_2d(60, 60) // 3600 rows, ~17.8k nonzeros
-}
 
 fn bench_models(c: &mut Criterion) {
     let a = matrix();

@@ -63,8 +63,7 @@ fn variants() -> Vec<Variant> {
                 let t = Instant::now();
                 let split = split_with_strategy(a, strategy, &mut rng);
                 let targets = BisectionTargets::even(a.nnz() as u64, 0.03);
-                let r =
-                    medium_grain_bipartition_with_split(a, &split, &targets, &cfg, &mut rng);
+                let r = medium_grain_bipartition_with_split(a, &split, &targets, &cfg, &mut rng);
                 (r.volume, t.elapsed().as_secs_f64())
             }),
         ));
@@ -83,8 +82,7 @@ fn variants() -> Vec<Variant> {
                 cfg.coarsening = scheme;
                 let mut rng = StdRng::seed_from_u64(seed);
                 let t = Instant::now();
-                let r =
-                    Method::MediumGrain { refine: false }.bipartition(a, 0.03, &cfg, &mut rng);
+                let r = Method::MediumGrain { refine: false }.bipartition(a, 0.03, &cfg, &mut rng);
                 (r.volume, t.elapsed().as_secs_f64())
             }),
         ));
@@ -140,7 +138,9 @@ fn main() {
     let workers = if opts.threads > 0 {
         opts.threads
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     };
 
     crossbeam::scope(|scope| {
@@ -171,10 +171,11 @@ fn main() {
     let times = times.into_inner();
 
     // Normalise against the baseline (variant 0).
-    let mut out = String::from(
-        "Ablation — geometric means relative to MG+IR (paper defaults)\n\n",
-    );
-    out.push_str(&format!("{:<28} {:>8} {:>8}\n", "variant", "volume", "time"));
+    let mut out = String::from("Ablation — geometric means relative to MG+IR (paper defaults)\n\n");
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>8}\n",
+        "variant", "volume", "time"
+    ));
     for (vi, (name, _)) in configs.iter().enumerate() {
         let vol_ratios: Vec<f64> = (0..entries.len())
             .filter(|&c| volumes[0][c] > 0.0)

@@ -9,7 +9,10 @@ use mg_bench::{records_to_csv, write_artifact, CliOptions};
 
 fn main() {
     let opts = CliOptions::parse();
-    eprintln!("fig4: sweeping (scale {:?}, {} runs)...", opts.scale, opts.runs);
+    eprintln!(
+        "fig4: sweeping (scale {:?}, {} runs)...",
+        opts.scale, opts.runs
+    );
     let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
     println!("collection classes: {}", class_summary(&records));
     write_artifact("fig4_records.csv", &records_to_csv(&records));
@@ -19,5 +22,8 @@ fn main() {
         println!("{}", profile.render_ascii(16));
         write_artifact(&format!("fig4_{name}.csv"), &profile.to_csv());
     }
-    println!("CSV artifacts written to {}", mg_bench::results_dir().display());
+    println!(
+        "CSV artifacts written to {}",
+        mg_bench::results_dir().display()
+    );
 }

@@ -10,7 +10,10 @@ use mg_bench::{records_to_csv, write_artifact, CliOptions};
 
 fn main() {
     let opts = CliOptions::parse();
-    eprintln!("fig5: sweeping (scale {:?}, {} runs)...", opts.scale, opts.runs);
+    eprintln!(
+        "fig5: sweeping (scale {:?}, {} runs)...",
+        opts.scale, opts.runs
+    );
     let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
     write_artifact("fig5_records.csv", &records_to_csv(&records));
 
@@ -18,5 +21,8 @@ fn main() {
     println!("Fig 5: partitioning time profile (all matrices)");
     println!("{}", profile.render_ascii(16));
     write_artifact("fig5_time.csv", &profile.to_csv());
-    println!("CSV artifacts written to {}", mg_bench::results_dir().display());
+    println!(
+        "CSV artifacts written to {}",
+        mg_bench::results_dir().display()
+    );
 }

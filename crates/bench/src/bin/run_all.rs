@@ -6,8 +6,7 @@
 
 use mg_bench::experiments::{
     class_summary, fig3_gd97b, fig4_profiles, fig5_time_profile, multiway_volume_profile,
-    patoh_multiway_sweep, patoh_sweep, render_fig3, render_table2, standard_sweep,
-    table1_geomeans,
+    patoh_multiway_sweep, patoh_sweep, render_fig3, render_table2, standard_sweep, table1_geomeans,
 };
 use mg_bench::{multiway_to_csv, records_to_csv, write_artifact, CliOptions};
 use std::time::Instant;

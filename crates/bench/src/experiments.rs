@@ -162,9 +162,7 @@ pub fn table2_rows(records: &[MultiwayRecord]) -> (Vec<String>, Vec<f64>, Vec<f6
 
 /// Renders Table II from p = 2 and p = 64 sweeps.
 pub fn render_table2(p2: &[MultiwayRecord], p64: &[MultiwayRecord]) -> String {
-    let mut out = String::from(
-        "Table II — geometric means relative to LB (PaToH-like engine)\n\n",
-    );
+    let mut out = String::from("Table II — geometric means relative to LB (PaToH-like engine)\n\n");
     let (methods, vol2, cost2) = table2_rows(p2);
     let (_, vol64, cost64) = table2_rows(p64);
     out.push_str(&format!("{:>9}", "metric"));

@@ -26,6 +26,6 @@ pub use geomean::{geometric_mean, normalized_geomean_table, GeomeanTable};
 pub use profiles::{performance_profile, PerformanceProfile};
 pub use report::{results_dir, write_artifact, CliOptions};
 pub use runner::{
-    multiway_to_csv, pivot_records, records_to_csv, run_multiway_sweep, run_sweep,
-    MultiwayRecord, RunRecord, SweepConfig,
+    multiway_to_csv, pivot_records, records_to_csv, run_multiway_sweep, run_sweep, MultiwayRecord,
+    RunRecord, SweepConfig,
 };

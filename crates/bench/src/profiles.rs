@@ -52,10 +52,7 @@ pub fn performance_profile(
         for (m, row) in fractions.iter_mut().enumerate() {
             // Ratios for this method, sorted once; fraction ≤ τ by binary
             // search.
-            let mut ratios: Vec<f64> = kept
-                .iter()
-                .map(|&(c, best)| values[m][c] / best)
-                .collect();
+            let mut ratios: Vec<f64> = kept.iter().map(|&(c, best)| values[m][c] / best).collect();
             ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
             for (t, &tau) in taus.iter().enumerate() {
                 let count = ratios.partition_point(|&r| r <= tau + 1e-12);
@@ -145,7 +142,10 @@ impl PerformanceProfile {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                (*a - tau).abs().partial_cmp(&(*b - tau).abs()).expect("finite")
+                (*a - tau)
+                    .abs()
+                    .partial_cmp(&(*b - tau).abs())
+                    .expect("finite")
             })?
             .0;
         Some(self.fractions[m][t])

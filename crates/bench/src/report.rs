@@ -58,9 +58,7 @@ impl CliOptions {
                     opts.threads = value(&mut i).parse().expect("--threads takes an integer")
                 }
                 "--seed" => opts.seed = value(&mut i).parse().expect("--seed takes an integer"),
-                other => panic!(
-                    "unknown flag {other:?}; expected --scale/--runs/--threads/--seed"
-                ),
+                other => panic!("unknown flag {other:?}; expected --scale/--runs/--threads/--seed"),
             }
             i += 1;
         }
@@ -105,7 +103,10 @@ mod tests {
 
     #[test]
     fn artifacts_land_in_results_dir() {
-        std::env::set_var("MG_RESULTS_DIR", std::env::temp_dir().join("mg-test-results"));
+        std::env::set_var(
+            "MG_RESULTS_DIR",
+            std::env::temp_dir().join("mg-test-results"),
+        );
         let p = write_artifact("probe.txt", "hello");
         assert!(p.exists());
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");

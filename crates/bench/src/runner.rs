@@ -196,12 +196,7 @@ pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
                     let mut cost_sum = 0.0;
                     let mut time_sum = 0.0;
                     for run in 0..config.runs {
-                        let mut rng = StdRng::seed_from_u64(derive_seed(
-                            config.seed,
-                            idx,
-                            mi,
-                            run,
-                        ));
+                        let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, idx, mi, run));
                         let start = Instant::now();
                         let result = recursive_bisection(
                             &entry.matrix,
@@ -213,8 +208,7 @@ pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
                         );
                         time_sum += start.elapsed().as_secs_f64();
                         volume_sum += result.volume as f64;
-                        cost_sum +=
-                            bsp_cost(&entry.matrix, &result.partition).total() as f64;
+                        cost_sum += bsp_cost(&entry.matrix, &result.partition).total() as f64;
                     }
                     local.push(MultiwayRecord {
                         matrix: entry.name.clone(),
@@ -273,10 +267,7 @@ pub fn pivot_records<'a>(
     let mut groups = vec![String::new(); matrices.len()];
     for r in records {
         let m = methods.iter().position(|x| *x == r.method).expect("known");
-        let c = matrices
-            .iter()
-            .position(|x| *x == r.matrix)
-            .expect("known");
+        let c = matrices.iter().position(|x| *x == r.matrix).expect("known");
         values[m][c] = value(r);
         groups[c] = class_label(r.class).to_string();
     }
@@ -383,9 +374,7 @@ mod tests {
         let (methods, values, groups) = pivot_records(&records, |r| r.volume_avg);
         assert_eq!(methods.len(), 2);
         assert_eq!(values[0].len(), groups.len());
-        assert!(values
-            .iter()
-            .all(|row| row.iter().all(|v| v.is_finite())));
+        assert!(values.iter().all(|row| row.iter().all(|v| v.is_finite())));
     }
 
     #[test]

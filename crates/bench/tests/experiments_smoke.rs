@@ -3,9 +3,8 @@
 //! qualitative orderings the paper reports.
 
 use mg_bench::experiments::{
-    fig3_gd97b, fig4_profiles, fig5_time_profile, multiway_volume_profile,
-    patoh_multiway_sweep, render_fig3, render_table2, standard_sweep, table1_geomeans,
-    table2_rows,
+    fig3_gd97b, fig4_profiles, fig5_time_profile, multiway_volume_profile, patoh_multiway_sweep,
+    render_fig3, render_table2, standard_sweep, table1_geomeans, table2_rows,
 };
 use mg_collection::{CollectionScale, CollectionSpec};
 

@@ -222,10 +222,7 @@ fn volume(parsed: &Parsed) -> Result<(), String> {
         partition.num_parts()
     );
     println!("  {}", report.render());
-    println!(
-        "  volume check: {}",
-        communication_volume(&a, &partition)
-    );
+    println!("  volume check: {}", communication_volume(&a, &partition));
     println!(
         "  imbalance {:.4}, BSP cost {}",
         load_imbalance(&partition),

@@ -51,7 +51,11 @@ impl MediumGrainModel {
     /// i.e. dummy excluded), so hypergraph balance is nonzero balance on
     /// `A`. Nets carry weight 1; single-pin nets are dropped.
     pub fn build(a: &Coo, split: &Split) -> Self {
-        assert_eq!(split.assignment().len(), a.nnz(), "split does not match matrix");
+        assert_eq!(
+            split.assignment().len(),
+            a.nnz(),
+            "split does not match matrix"
+        );
         let m = a.rows() as usize;
         let n = a.cols() as usize;
 
@@ -272,16 +276,13 @@ mod tests {
         let a = Coo::new(2, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2)]).unwrap();
         // All 2^4 splits × all 2^(num vertices) assignments.
         for split_mask in 0..16u32 {
-            let split = Split::from_assignment(
-                (0..4).map(|k| (split_mask >> k) & 1 == 1).collect(),
-            );
+            let split =
+                Split::from_assignment((0..4).map(|k| (split_mask >> k) & 1 == 1).collect());
             let model = MediumGrainModel::build(&a, &split);
             let nv = model.hypergraph.num_vertices();
             for side_mask in 0..(1u32 << nv) {
-                let sides: Vec<u8> =
-                    (0..nv).map(|v| ((side_mask >> v) & 1) as u8).collect();
-                let cut = VertexBipartition::new(&model.hypergraph, sides.clone())
-                    .cut_weight();
+                let sides: Vec<u8> = (0..nv).map(|v| ((side_mask >> v) & 1) as u8).collect();
+                let cut = VertexBipartition::new(&model.hypergraph, sides.clone()).cut_weight();
                 let np = model.to_nonzero_partition(&a, &sides);
                 let vol = communication_volume(&a, &np);
                 assert_eq!(
@@ -298,14 +299,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let a = mg_sparse::gen::erdos_renyi(20, 15, 120, &mut rng);
         for _ in 0..20 {
-            let split = Split::from_assignment(
-                (0..a.nnz()).map(|_| rng.gen::<bool>()).collect(),
-            );
+            let split = Split::from_assignment((0..a.nnz()).map(|_| rng.gen::<bool>()).collect());
             let model = MediumGrainModel::build(&a, &split);
             let nv = model.hypergraph.num_vertices() as usize;
             let sides: Vec<u8> = (0..nv).map(|_| rng.gen_range(0..2) as u8).collect();
-            let cut =
-                VertexBipartition::new(&model.hypergraph, sides.clone()).cut_weight();
+            let cut = VertexBipartition::new(&model.hypergraph, sides.clone()).cut_weight();
             let np = model.to_nonzero_partition(&a, &sides);
             assert_eq!(cut, communication_volume(&a, &np));
         }
@@ -317,9 +315,7 @@ mod tests {
         // Partition by "row < 1 → part 0"; encode as split Ar←A0, Ac←A1.
         let parts: Vec<Idx> = a.iter().map(|(i, _)| (i > 0) as Idx).collect();
         let np = NonzeroPartition::new(2, parts).unwrap();
-        let split = Split::from_assignment(
-            (0..a.nnz()).map(|k| np.part_of(k) == 0).collect(),
-        );
+        let split = Split::from_assignment((0..a.nnz()).map(|k| np.part_of(k) == 0).collect());
         let model = MediumGrainModel::build(&a, &split);
         let sides = model.sides_from_partition(&a, &np);
         let round = model.to_nonzero_partition(&a, &sides);

@@ -99,8 +99,7 @@ mod tests {
         let mut gen_rng = StdRng::seed_from_u64(70);
         let a = mg_sparse::gen::chung_lu_symmetric(300, 3000, 0.9, &mut gen_rng);
         let cfg = PartitionerConfig::mondriaan_like();
-        let plain =
-            medium_grain_bipartition(&a, 0.03, &cfg, &mut StdRng::seed_from_u64(1));
+        let plain = medium_grain_bipartition(&a, 0.03, &cfg, &mut StdRng::seed_from_u64(1));
         let full = medium_grain_full_iterative(
             &a,
             0.03,
@@ -110,7 +109,12 @@ mod tests {
         );
         // Same RNG stream start → the first round reproduces `plain`; the
         // iterations can only keep or improve it.
-        assert!(full.volume <= plain.volume, "{} > {}", full.volume, plain.volume);
+        assert!(
+            full.volume <= plain.volume,
+            "{} > {}",
+            full.volume,
+            plain.volume
+        );
         assert!(load_imbalance(&full.partition) <= 0.03 + 1e-9);
     }
 
@@ -122,13 +126,7 @@ mod tests {
             iterations: 2,
             patience: 10,
         };
-        let r = medium_grain_full_iterative(
-            &a,
-            0.03,
-            &cfg,
-            &opts,
-            &mut StdRng::seed_from_u64(2),
-        );
+        let r = medium_grain_full_iterative(&a, 0.03, &cfg, &opts, &mut StdRng::seed_from_u64(2));
         assert!(r.ir_iterations <= 2);
     }
 

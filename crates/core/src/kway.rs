@@ -110,8 +110,8 @@ pub fn kway_refine(
             break;
         }
     }
-    let partition = NonzeroPartition::new(partition.num_parts(), parts)
-        .expect("parts stay within range");
+    let partition =
+        NonzeroPartition::new(partition.num_parts(), parts).expect("parts stay within range");
     let volume = communication_volume(a, &partition);
     KwayOutcome {
         partition,

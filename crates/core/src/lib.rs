@@ -33,8 +33,8 @@ pub mod split;
 
 pub use bmatrix::MediumGrainModel;
 pub use full_iterative::{medium_grain_full_iterative, FullIterativeOptions};
-pub use medium_grain::{medium_grain_bipartition, medium_grain_bipartition_with_split};
 pub use kway::{kway_refine, KwayOutcome};
+pub use medium_grain::{medium_grain_bipartition, medium_grain_bipartition_with_split};
 pub use methods::{BipartitionResult, Method};
 pub use parallel::{parallel_communication_volume, parallel_split_with_preference};
 pub use recursive::{recursive_bisection, MultiwayResult};

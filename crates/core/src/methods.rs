@@ -129,9 +129,7 @@ impl Method {
         rng: &mut R,
     ) -> BipartitionResult {
         let mut result = match *self {
-            Method::RowNet { .. } => {
-                model_bipartition(a, ModelKind::RowNet, targets, config, rng)
-            }
+            Method::RowNet { .. } => model_bipartition(a, ModelKind::RowNet, targets, config, rng),
             Method::ColumnNet { .. } => {
                 model_bipartition(a, ModelKind::ColumnNet, targets, config, rng)
             }
@@ -146,8 +144,7 @@ impl Method {
         if self.refines() {
             let opts = RefineOptions::default();
             let budgets = targets.budgets();
-            let refined =
-                iterative_refinement_with_budgets(a, &result.partition, budgets, &opts);
+            let refined = iterative_refinement_with_budgets(a, &result.partition, budgets, &opts);
             // Monotone whenever the input was feasible; from an infeasible
             // start (an atomic row/column group heavier than the budget)
             // the FM inside IR repairs balance first, possibly at a volume
@@ -215,7 +212,10 @@ mod tests {
                 communication_volume(&a, &result.partition),
                 "{method} reported a stale volume"
             );
-            assert!(result.volume > 0, "{method}: a connected Laplacian must cut");
+            assert!(
+                result.volume > 0,
+                "{method}: a connected Laplacian must cut"
+            );
         }
     }
 

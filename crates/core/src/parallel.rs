@@ -61,7 +61,10 @@ pub fn parallel_split_with_preference(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("count worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count worker"))
+            .collect()
     })
     .expect("count scope");
     for (r, c) in &partials {
@@ -112,12 +115,10 @@ pub fn parallel_split_with_preference(
 /// Parallel communication volume: rows and columns are independent, so the
 /// two λ scans run as parallel shards over disjoint row/column blocks.
 /// Identical result to [`mg_sparse::communication_volume`].
-pub fn parallel_communication_volume(
-    a: &Coo,
-    partition: &NonzeroPartition,
-    threads: usize,
-) -> u64 {
-    partition.check_against(a).expect("partition matches matrix");
+pub fn parallel_communication_volume(a: &Coo, partition: &NonzeroPartition, threads: usize) -> u64 {
+    partition
+        .check_against(a)
+        .expect("partition matches matrix");
     let threads = threads.max(1);
     let p = partition.num_parts() as usize;
 

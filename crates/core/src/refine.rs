@@ -150,10 +150,7 @@ mod tests {
         let before = communication_volume(&a, &p);
         let refined = iterative_refinement(&a, &p, 0.03, &RefineOptions::default());
         assert!(refined.volume <= before);
-        assert_eq!(
-            refined.volume,
-            communication_volume(&a, &refined.partition)
-        );
+        assert_eq!(refined.volume, communication_volume(&a, &refined.partition));
         // A fully interleaved start is terrible; IR must bite hard.
         assert!(
             refined.volume <= before / 2,
@@ -213,8 +210,7 @@ mod tests {
         let cfg = PartitionerConfig::mondriaan_like();
         let mut rng = StdRng::seed_from_u64(21);
         let rn = Method::RowNet { refine: false }.bipartition(&a, 0.03, &cfg, &mut rng);
-        let refined =
-            iterative_refinement(&a, &rn.partition, 0.03, &RefineOptions::default());
+        let refined = iterative_refinement(&a, &rn.partition, 0.03, &RefineOptions::default());
         assert!(refined.volume <= rn.volume);
     }
 }

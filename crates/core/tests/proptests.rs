@@ -5,8 +5,8 @@
 
 use mg_core::split::split_with_preference;
 use mg_core::{
-    initial_split, iterative_refinement, GlobalPreference, MediumGrainModel, Method,
-    RefineOptions, Split,
+    initial_split, iterative_refinement, GlobalPreference, MediumGrainModel, Method, RefineOptions,
+    Split,
 };
 use mg_hypergraph::VertexBipartition;
 use mg_partitioner::PartitionerConfig;
@@ -16,10 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1u32..=14, 1u32..=14).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 1..48)
-            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
-    })
+    mg_test_support::strategies::arb_coo(14, 1, 47)
 }
 
 proptest! {

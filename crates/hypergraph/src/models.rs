@@ -173,7 +173,11 @@ mod tests {
     #[test]
     fn cut_equals_volume_for_all_models() {
         let a = sample();
-        for model in [row_net_model(&a), column_net_model(&a), fine_grain_model(&a)] {
+        for model in [
+            row_net_model(&a),
+            column_net_model(&a),
+            fine_grain_model(&a),
+        ] {
             let h = &model.hypergraph;
             let nv = h.num_vertices() as usize;
             // Try a few assignments, including skewed ones.

@@ -3,37 +3,18 @@
 //! incremental bipartition state.
 
 use mg_hypergraph::{
-    column_net_model, dedup_nets, fine_grain_model, row_net_model, Hypergraph,
-    HypergraphBuilder, Idx, VertexBipartition,
+    column_net_model, dedup_nets, fine_grain_model, row_net_model, Hypergraph, Idx,
+    VertexBipartition,
 };
 use mg_sparse::{communication_volume, Coo};
 use proptest::prelude::*;
 
 fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1u32..=12, 1u32..=12).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 0..40)
-            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
-    })
+    mg_test_support::strategies::arb_coo(12, 0, 39)
 }
 
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (1usize..=12).prop_flat_map(|nv| {
-        let weights = proptest::collection::vec(1u64..6, nv..=nv);
-        let nets = proptest::collection::vec(
-            (
-                1u64..4,
-                proptest::collection::vec(0..nv as Idx, 0..6),
-            ),
-            0..10,
-        );
-        (weights, nets).prop_map(|(weights, nets)| {
-            let mut b = HypergraphBuilder::new(weights);
-            for (w, pins) in nets {
-                b.add_net(w, pins);
-            }
-            b.build()
-        })
-    })
+    mg_test_support::strategies::arb_hypergraph(1, 12, 1..6, 0..6, 0..10)
 }
 
 proptest! {
@@ -104,5 +85,46 @@ proptest! {
         let sides: Vec<u8> = (0..nv).map(|v| ((v as u64 * 7 + seed) % 2) as u8).collect();
         let bp = VertexBipartition::new(&h, sides);
         prop_assert!(bp.cut_weight() <= total);
+    }
+
+    /// Partition validity: the bipartition state assigns every vertex
+    /// exactly one side, and keeps doing so under arbitrary move sequences.
+    #[test]
+    fn every_vertex_has_exactly_one_side(h in arb_hypergraph(), moves in proptest::collection::vec(0usize..12, 0..16)) {
+        let nv = h.num_vertices() as usize;
+        let sides: Vec<u8> = (0..nv).map(|v| (v % 2) as u8).collect();
+        let mut bp = VertexBipartition::new(&h, sides);
+        prop_assert_eq!(bp.sides().len(), nv);
+        for &mv in &moves {
+            bp.move_vertex(&h, (mv % nv) as Idx);
+        }
+        prop_assert_eq!(bp.sides().len(), nv);
+        prop_assert!(bp.sides().iter().all(|&s| s < 2), "side out of range");
+        let members: u64 = (0..2u8)
+            .map(|p| bp.sides().iter().filter(|&&s| s == p).count() as u64)
+            .sum();
+        prop_assert_eq!(members, nv as u64, "each vertex must be in exactly one part");
+        prop_assert!(bp.validate(&h).is_ok());
+    }
+
+    /// Model back-mappings are valid partitions: every nonzero of the
+    /// matrix lands in exactly one of the two parts.
+    #[test]
+    fn model_partitions_assign_every_nonzero_exactly_once(a in arb_coo(), seed in 0u64..1000) {
+        for model in [row_net_model(&a), column_net_model(&a), fine_grain_model(&a)] {
+            let nv = model.hypergraph.num_vertices() as usize;
+            let sides: Vec<u8> = (0..nv)
+                .map(|v| ((v as u64 * 23 + seed) % 2) as u8)
+                .collect();
+            let np = model.to_nonzero_partition(&a, &sides);
+            prop_assert!(np.check_against(&a).is_ok(), "model {:?}", model.kind);
+            prop_assert_eq!(np.parts().len(), a.nnz());
+            prop_assert!(np.parts().iter().all(|&p| p < 2));
+            prop_assert_eq!(
+                np.part_sizes().iter().sum::<u64>(),
+                a.nnz() as u64,
+                "parts must cover the nonzeros exactly once"
+            );
+        }
     }
 }

@@ -127,8 +127,7 @@ mod tests {
         for mask in 0..8u32 {
             let coarse_sides: Vec<u8> = (0..3).map(|v| ((mask >> v) & 1) as u8).collect();
             let fine_sides = project_sides(&level.map, &coarse_sides);
-            let coarse_cut =
-                VertexBipartition::new(&level.coarse, coarse_sides).cut_weight();
+            let coarse_cut = VertexBipartition::new(&level.coarse, coarse_sides).cut_weight();
             let fine_cut = VertexBipartition::new(&h, fine_sides).cut_weight();
             assert_eq!(coarse_cut, fine_cut, "mask {mask}");
         }

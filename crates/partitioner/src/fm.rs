@@ -150,8 +150,7 @@ fn fm_pass(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) -> (i6
                 let better = match chosen {
                     None => true,
                     Some((_, cf, cg)) => {
-                        g > cg
-                            || (g == cg && bp.part_weight(from) > bp.part_weight(cf))
+                        g > cg || (g == cg && bp.part_weight(from) > bp.part_weight(cf))
                     }
                 };
                 if better {

@@ -66,8 +66,7 @@ fn exhaustive_best(h: &Hypergraph, budget: &[u64; 2]) -> VertexBipartition {
     debug_assert!((1..=EXHAUSTIVE_LIMIT).contains(&n));
     let mut bp = VertexBipartition::all_zero(h);
     let violation = |bp: &VertexBipartition| -> u64 {
-        bp.part_weight(0).saturating_sub(budget[0])
-            + bp.part_weight(1).saturating_sub(budget[1])
+        bp.part_weight(0).saturating_sub(budget[0]) + bp.part_weight(1).saturating_sub(budget[1])
     };
     let mut best_sides = bp.sides().to_vec();
     let mut best_key = (violation(&bp), bp.cut_weight());
@@ -86,18 +85,14 @@ fn exhaustive_best(h: &Hypergraph, budget: &[u64; 2]) -> VertexBipartition {
 }
 
 fn candidate_key(bp: &VertexBipartition, budget: &[u64; 2]) -> (u64, u64) {
-    let violation = bp.part_weight(0).saturating_sub(budget[0])
-        + bp.part_weight(1).saturating_sub(budget[1]);
+    let violation =
+        bp.part_weight(0).saturating_sub(budget[0]) + bp.part_weight(1).saturating_sub(budget[1]);
     (violation, bp.cut_weight())
 }
 
 /// Randomized balanced assignment: vertices in random order, each placed on
 /// the side with the larger remaining capacity toward its target.
-fn random_balanced<R: Rng>(
-    h: &Hypergraph,
-    targets: &BisectionTargets,
-    rng: &mut R,
-) -> Vec<u8> {
+fn random_balanced<R: Rng>(h: &Hypergraph, targets: &BisectionTargets, rng: &mut R) -> Vec<u8> {
     let n = h.num_vertices() as usize;
     let mut order: Vec<Idx> = (0..n as Idx).collect();
     order.shuffle(rng);

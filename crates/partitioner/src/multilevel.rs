@@ -78,8 +78,7 @@ pub fn bipartition_hypergraph<R: Rng>(
             break;
         }
         let clustering = cluster_vertices(current, config, rng);
-        let reduction =
-            1.0 - clustering.num_clusters as f64 / current.num_vertices().max(1) as f64;
+        let reduction = 1.0 - clustering.num_clusters as f64 / current.num_vertices().max(1) as f64;
         if reduction < config.min_reduction {
             break;
         }
@@ -153,8 +152,7 @@ fn vcycle<R: Rng>(
         }
         let clustering = cluster_vertices(current, config, rng);
         let restricted = restrict_clustering(&clustering, current_sides);
-        let reduction =
-            1.0 - restricted.num_clusters as f64 / current.num_vertices().max(1) as f64;
+        let reduction = 1.0 - restricted.num_clusters as f64 / current.num_vertices().max(1) as f64;
         if reduction < config.min_reduction {
             break;
         }

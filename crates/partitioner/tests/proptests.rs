@@ -2,9 +2,9 @@
 //! (monotone cut, budget compliance), coarsening correctness, and driver
 //! feasibility on arbitrary hypergraphs.
 
-use mg_hypergraph::{Hypergraph, HypergraphBuilder, Idx, VertexBipartition};
-use mg_partitioner::matching::cluster_vertices;
+use mg_hypergraph::{Hypergraph, VertexBipartition};
 use mg_partitioner::coarsen::{contract, project_sides};
+use mg_partitioner::matching::cluster_vertices;
 use mg_partitioner::{
     bipartition_hypergraph, fm_refine, BisectionTargets, FmLimits, PartitionerConfig,
 };
@@ -13,20 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (2usize..=16).prop_flat_map(|nv| {
-        let weights = proptest::collection::vec(1u64..4, nv..=nv);
-        let nets = proptest::collection::vec(
-            (1u64..4, proptest::collection::vec(0..nv as Idx, 2..5)),
-            1..14,
-        );
-        (weights, nets).prop_map(|(weights, nets)| {
-            let mut b = HypergraphBuilder::new(weights);
-            for (w, pins) in nets {
-                b.add_net(w, pins);
-            }
-            b.build()
-        })
-    })
+    mg_test_support::strategies::arb_hypergraph(2, 16, 1..4, 2..5, 1..14)
 }
 
 proptest! {

@@ -28,11 +28,7 @@ impl Coo {
     ///
     /// Sorts row-major and removes exact duplicates. Fails if any coordinate
     /// is out of bounds or if the number of entries does not fit in [`Idx`].
-    pub fn new(
-        rows: Idx,
-        cols: Idx,
-        mut entries: Vec<(Idx, Idx)>,
-    ) -> Result<Self, SparseError> {
+    pub fn new(rows: Idx, cols: Idx, mut entries: Vec<(Idx, Idx)>) -> Result<Self, SparseError> {
         if entries.len() >= Idx::MAX as usize {
             return Err(SparseError::TooManyNonzeros(entries.len()));
         }
@@ -193,8 +189,10 @@ impl Coo {
     /// This is how recursive bisection re-partitions one side of a split:
     /// the sub-problem is "these nonzeros of A", not a re-indexed matrix.
     pub fn select(&self, nonzero_ids: &[Idx]) -> Coo {
-        let mut entries: Vec<(Idx, Idx)> =
-            nonzero_ids.iter().map(|&k| self.entries[k as usize]).collect();
+        let mut entries: Vec<(Idx, Idx)> = nonzero_ids
+            .iter()
+            .map(|&k| self.entries[k as usize])
+            .collect();
         entries.sort_unstable();
         entries.dedup();
         Coo {

@@ -133,7 +133,10 @@ pub fn read_distributed<R: Read>(reader: R) -> Result<(Coo, NonzeroPartition), S
         ));
     }
     if pstart.windows(2).any(|w| w[0] > w[1]) {
-        return Err(SparseError::Parse(no, "Pstart must be non-decreasing".into()));
+        return Err(SparseError::Parse(
+            no,
+            "Pstart must be non-decreasing".into(),
+        ));
     }
 
     let mut entries: Vec<(Idx, Idx)> = Vec::with_capacity(nnz);
@@ -166,8 +169,7 @@ pub fn read_distributed<R: Read>(reader: R) -> Result<(Coo, NonzeroPartition), S
     }
 
     // Canonicalise: sort entries (with owners attached) row-major.
-    let mut pairs: Vec<((Idx, Idx), Idx)> =
-        entries.into_iter().zip(owners).collect();
+    let mut pairs: Vec<((Idx, Idx), Idx)> = entries.into_iter().zip(owners).collect();
     pairs.sort_unstable();
     pairs.dedup_by_key(|(e, _)| *e);
     let (entries, owners): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
@@ -204,10 +206,7 @@ mod tests {
         let (a2, p2) = read_distributed(buf.as_slice()).unwrap();
         assert_eq!(a, a2);
         assert_eq!(p, p2);
-        assert_eq!(
-            communication_volume(&a, &p),
-            communication_volume(&a2, &p2)
-        );
+        assert_eq!(communication_volume(&a, &p), communication_volume(&a2, &p2));
     }
 
     #[test]

@@ -69,14 +69,7 @@ pub fn arrow(n: Idx, border: Idx) -> Coo {
 /// RMAT/Kronecker-style power-law pattern, square with side `2^scale`.
 /// Standard parameters `(a, b, c)` with `d = 1 − a − b − c`; the classic
 /// "nice" choice is `(0.57, 0.19, 0.19)`.
-pub fn rmat<R: Rng>(
-    scale: u32,
-    target_nnz: usize,
-    a: f64,
-    b: f64,
-    c: f64,
-    rng: &mut R,
-) -> Coo {
+pub fn rmat<R: Rng>(scale: u32, target_nnz: usize, a: f64, b: f64, c: f64, rng: &mut R) -> Coo {
     assert!(scale > 0 && scale < 31);
     assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
     let n: Idx = 1 << scale;

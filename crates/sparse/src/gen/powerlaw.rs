@@ -36,7 +36,9 @@ pub fn chung_lu_symmetric<R: Rng>(n: Idx, target_nnz: usize, alpha: f64, rng: &m
     for d in 0..n {
         set.insert(d, d);
     }
-    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let target = target_nnz
+        .max(n as usize)
+        .min((n as u64 * n as u64) as usize);
     let mut guard = 0usize;
     while set.len() + 1 < target && guard < 64 * target {
         guard += 1;
@@ -71,7 +73,9 @@ pub fn scale_free_directed<R: Rng>(
     for d in 0..n {
         set.insert(d, d);
     }
-    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let target = target_nnz
+        .max(n as usize)
+        .min((n as u64 * n as u64) as usize);
     let mut guard = 0usize;
     while set.len() < target && guard < 64 * target {
         guard += 1;
@@ -120,7 +124,10 @@ mod tests {
         let counts = a.row_counts();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max > 4 * min.max(1), "expected skew, got max={max} min={min}");
+        assert!(
+            max > 4 * min.max(1),
+            "expected skew, got max={max} min={min}"
+        );
     }
 
     #[test]

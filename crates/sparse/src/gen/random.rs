@@ -54,7 +54,9 @@ pub fn erdos_renyi_square<R: Rng>(n: Idx, target_nnz: usize, rng: &mut R) -> Coo
     for d in 0..n {
         set.insert(d, d);
     }
-    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let target = target_nnz
+        .max(n as usize)
+        .min((n as u64 * n as u64) as usize);
     while set.len() < target {
         set.insert(rng.gen_range(0..n), rng.gen_range(0..n));
     }
@@ -72,7 +74,9 @@ pub fn random_symmetric<R: Rng>(n: Idx, target_nnz: usize, rng: &mut R) -> Coo {
     for d in 0..n {
         set.insert(d, d);
     }
-    let target = target_nnz.max(n as usize).min((n as u64 * n as u64) as usize);
+    let target = target_nnz
+        .max(n as usize)
+        .min((n as u64 * n as u64) as usize);
     // Each accepted off-diagonal pair adds two entries.
     let mut guard = 0usize;
     while set.len() + 1 < target && guard < 64 * target {

@@ -262,9 +262,7 @@ mod tests {
 
     fn checkerboard(n: Idx) -> (Coo, NonzeroPartition) {
         // Dense n×n pattern, parts alternating like a checkerboard: worst case.
-        let entries: Vec<(Idx, Idx)> = (0..n)
-            .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .collect();
+        let entries: Vec<(Idx, Idx)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
         let a = Coo::new(n, n, entries).unwrap();
         let parts: Vec<Idx> = a.iter().map(|(i, j)| (i + j) % 2).collect();
         let p = NonzeroPartition::new(2, parts).unwrap();

@@ -164,9 +164,7 @@ mod tests {
     use crate::partition::communication_volume;
 
     fn dense(n: Idx) -> Coo {
-        let entries: Vec<(Idx, Idx)> = (0..n)
-            .flat_map(|i| (0..n).map(move |j| (i, j)))
-            .collect();
+        let entries: Vec<(Idx, Idx)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
         Coo::new(n, n, entries).unwrap()
     }
 

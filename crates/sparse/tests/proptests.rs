@@ -14,19 +14,12 @@ use proptest::prelude::*;
 /// Strategy: a small random matrix (dims 1..=16, up to 48 candidate
 /// entries, duplicates removed by the constructor).
 fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1u32..=16, 1u32..=16).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 0..48)
-            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
-    })
+    mg_test_support::strategies::arb_coo(16, 0, 47)
 }
 
 /// Strategy: a matrix plus a p-way partition of its nonzeros.
 fn arb_partitioned() -> impl Strategy<Value = (Coo, NonzeroPartition)> {
-    (arb_coo(), 1u32..=5).prop_flat_map(|(a, p)| {
-        let nnz = a.nnz();
-        proptest::collection::vec(0..p, nnz..=nnz)
-            .prop_map(move |parts| (a.clone(), NonzeroPartition::new(p, parts).expect("in range")))
-    })
+    mg_test_support::strategies::arb_partitioned(16, 47, 5)
 }
 
 proptest! {
@@ -117,6 +110,64 @@ proptest! {
                 max_part_size(&p) as f64 * p.num_parts() as f64 / n as f64 - 1.0;
             prop_assert!((load_imbalance(&p) - expected).abs() < 1e-12);
         }
+    }
+
+    /// Full representation round-trip: a COO rebuilt from its CSR view is
+    /// the identical canonical matrix, and the CSR structure is internally
+    /// consistent (monotone row spans covering exactly the nonzeros, in the
+    /// canonical row-major order).
+    #[test]
+    fn coo_csr_coo_roundtrip(a in arb_coo()) {
+        let csr = Csr::from_coo(&a);
+        prop_assert_eq!(csr.rows(), a.rows());
+        prop_assert_eq!(csr.cols(), a.cols());
+        prop_assert_eq!(csr.nnz(), a.nnz());
+        let mut covered = 0usize;
+        for i in 0..a.rows() {
+            let span = csr.row_nonzero_ids(i);
+            prop_assert_eq!(span.start, covered, "row {} span must be contiguous", i);
+            prop_assert_eq!(span.len(), csr.row(i).len());
+            covered = span.end;
+        }
+        prop_assert_eq!(covered, a.nnz());
+        let back = Coo::new(
+            csr.rows(),
+            csr.cols(),
+            csr.iter().map(|(i, j, _)| (i, j)).collect(),
+        )
+        .expect("CSR indices are in bounds");
+        prop_assert_eq!(back, a);
+    }
+
+    /// The CSC view round-trips through the same canonical COO.
+    #[test]
+    fn coo_csc_coo_roundtrip(a in arb_coo()) {
+        let csc = Csc::from_coo(&a);
+        prop_assert_eq!(csc.nnz(), a.nnz());
+        let mut entries = Vec::with_capacity(a.nnz());
+        for j in 0..a.cols() {
+            for &i in csc.col(j) {
+                entries.push((i, j));
+            }
+        }
+        let back = Coo::new(csc.rows(), csc.cols(), entries).expect("CSC indices are in bounds");
+        prop_assert_eq!(back, a);
+    }
+
+    /// CSC nonzero ids are a permutation of 0..nnz that agrees with the
+    /// coordinates stored in the COO (the id is the row-major position).
+    #[test]
+    fn csc_nonzero_ids_are_consistent(a in arb_coo()) {
+        let csc = Csc::from_coo(&a);
+        let mut seen = vec![false; a.nnz()];
+        for j in 0..a.cols() {
+            for (&i, &k) in csc.col(j).iter().zip(csc.col_nonzero_ids(j)) {
+                prop_assert_eq!(a.entry(k as usize), (i, j));
+                prop_assert!(!seen[k as usize], "nonzero id {} appears twice", k);
+                seen[k as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

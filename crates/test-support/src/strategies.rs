@@ -1,0 +1,63 @@
+//! Proptest strategies for arbitrary matrices, partitions and hypergraphs.
+//!
+//! Parameterised versions of the `arb_*` helpers that used to be duplicated
+//! (with silently diverging bounds) in every proptest file.
+
+use mg_hypergraph::{Hypergraph, HypergraphBuilder};
+use mg_sparse::{Coo, Idx, NonzeroPartition};
+use proptest::prelude::*;
+
+/// A small random matrix: dimensions in `1..=max_dim`, up to `max_entries`
+/// candidate entries (duplicates removed by the `Coo` constructor).
+pub fn arb_coo(max_dim: u32, min_entries: usize, max_entries: usize) -> impl Strategy<Value = Coo> {
+    (1u32..=max_dim, 1u32..=max_dim).prop_flat_map(move |(m, n)| {
+        proptest::collection::vec((0..m, 0..n), min_entries..=max_entries)
+            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
+    })
+}
+
+/// A matrix plus a `p`-way partition of its nonzeros, `p` in `1..=max_parts`.
+pub fn arb_partitioned(
+    max_dim: u32,
+    max_entries: usize,
+    max_parts: u32,
+) -> impl Strategy<Value = (Coo, NonzeroPartition)> {
+    (arb_coo(max_dim, 0, max_entries), 1u32..=max_parts).prop_flat_map(|(a, p)| {
+        let nnz = a.nnz();
+        proptest::collection::vec(0..p, nnz..=nnz).prop_map(move |parts| {
+            (
+                a.clone(),
+                NonzeroPartition::new(p, parts).expect("in range"),
+            )
+        })
+    })
+}
+
+/// An arbitrary hypergraph: `min_vertices..=max_vertices` vertices with
+/// weights drawn from `vertex_weights`, and nets from `nets` with `pins`
+/// pins each (pin lists may repeat a vertex; the builder deduplicates).
+pub fn arb_hypergraph(
+    min_vertices: usize,
+    max_vertices: usize,
+    vertex_weights: std::ops::Range<u64>,
+    pins: std::ops::Range<usize>,
+    nets: std::ops::Range<usize>,
+) -> impl Strategy<Value = Hypergraph> {
+    (min_vertices..=max_vertices).prop_flat_map(move |nv| {
+        let weights = proptest::collection::vec(vertex_weights.clone(), nv..=nv);
+        let net_list = proptest::collection::vec(
+            (
+                1u64..4,
+                proptest::collection::vec(0..nv as Idx, pins.clone()),
+            ),
+            nets.clone(),
+        );
+        (weights, net_list).prop_map(|(weights, net_list)| {
+            let mut b = HypergraphBuilder::new(weights);
+            for (w, pin_list) in net_list {
+                b.add_net(w, pin_list);
+            }
+            b.build()
+        })
+    })
+}

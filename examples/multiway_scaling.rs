@@ -15,12 +15,7 @@ use rand::SeedableRng;
 fn main() {
     // A 3D Laplacian — the classic strong-scaling workload.
     let a = gen::laplacian_3d(16, 16, 16);
-    println!(
-        "matrix: {}x{}, {} nonzeros\n",
-        a.rows(),
-        a.cols(),
-        a.nnz()
-    );
+    println!("matrix: {}x{}, {} nonzeros\n", a.rows(), a.cols(), a.nnz());
     println!(
         "{:>4} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "p", "volume", "+kway", "BSP cost", "max part", "imbalance"

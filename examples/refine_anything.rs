@@ -25,11 +25,8 @@ fn main() {
     // 1. A naive split: first half of the nonzeros to part 0 (respects the
     //    balance constraint but ignores structure entirely... almost: the
     //    canonical row-major order makes it a crude row split).
-    let naive = NonzeroPartition::new(
-        2,
-        (0..a.nnz()).map(|k| (k >= a.nnz() / 2) as u32).collect(),
-    )
-    .unwrap();
+    let naive = NonzeroPartition::new(2, (0..a.nnz()).map(|k| (k >= a.nnz() / 2) as u32).collect())
+        .unwrap();
     report(&a, "naive half split", &naive, &opts);
 
     // 2. A 1D method's output.

@@ -24,8 +24,7 @@ fn main() {
     println!("matrix: {}x{}, {} nonzeros", a.rows(), a.cols(), a.nnz());
 
     let config = PartitionerConfig::mondriaan_like();
-    let result =
-        Method::MediumGrain { refine: true }.bipartition(&a, 0.03, &config, &mut rng);
+    let result = Method::MediumGrain { refine: true }.bipartition(&a, 0.03, &config, &mut rng);
     println!("medium-grain volume: {} words", result.volume);
 
     // Distribute the input and output vectors greedily among nonzero

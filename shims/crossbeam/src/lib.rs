@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63, which post-dates crossbeam's
+//! scoped threads). The crossbeam API differences that matter to callers are
+//! preserved: the spawn closure receives the scope as an argument, and
+//! `scope` returns a `Result` (always `Ok` here — std's scope propagates
+//! panics from unjoined threads by panicking instead).
+
+use std::any::Any;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let n = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

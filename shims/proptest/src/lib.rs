@@ -1,0 +1,153 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`any`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: no shrinking (a failing case is reported with
+//! its case number and the test's deterministic seed, which is enough to
+//! replay it under a debugger), and the number of cases defaults to 64
+//! (override with the `PROPTEST_CASES` environment variable).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Strategy producing arbitrary values of `T` (only the types the workspace
+/// needs).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Runs each `#[test]` body against freshly generated strategy values.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut __pt_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __pt_case in 0..cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                    )*
+                    let run = move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(msg) = run() {
+                        panic!("proptest case {}/{} failed: {}", __pt_case + 1, cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing proptest case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -39,6 +39,26 @@ pub use mg_partitioner as partitioner;
 pub use mg_sparse as sparse;
 
 /// One-stop imports for typical use.
+///
+/// Beyond bipartitioning, the prelude covers the p-way pipeline:
+///
+/// ```
+/// use mediumgrain::prelude::*;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let a = mediumgrain::sparse::gen::laplacian_2d(16, 16);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let r = recursive_bisection(
+///     &a,
+///     4,
+///     0.03,
+///     Method::MediumGrain { refine: true },
+///     &PartitionerConfig::mondriaan_like(),
+///     &mut rng,
+/// );
+/// assert_eq!(r.partition.num_parts(), 4);
+/// assert_eq!(r.volume, communication_volume(&a, &r.partition));
+/// ```
 pub mod prelude {
     pub use mg_core::{
         iterative_refinement, recursive_bisection, BipartitionResult, Method, MultiwayResult,

@@ -10,10 +10,7 @@ use mediumgrain::sparse::Coo;
 use proptest::prelude::*;
 
 fn arb_coo() -> impl Strategy<Value = Coo> {
-    (1u32..=15, 1u32..=15).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n), 1..60)
-            .prop_map(move |entries| Coo::new(m, n, entries).expect("in bounds"))
-    })
+    mg_test_support::strategies::arb_coo(15, 1, 59)
 }
 
 proptest! {
