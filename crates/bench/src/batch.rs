@@ -1,0 +1,313 @@
+//! The batched sweep engine: the experiment cross product scheduled over
+//! the work-stealing pool of [`mg_collection::batch`], with JSON-lines
+//! results.
+//!
+//! Each (matrix × method × ε) cell is one job. Its RNG stream is seeded
+//! from a stable hash of the cell's *key* ([`mg_collection::job_seed`]),
+//! so results do not depend on sweep order, thread count or scheduling —
+//! the determinism contract of the paper's §V extended from a single
+//! split to a whole experiment campaign. The opt-in verify pass
+//! cross-checks every reported volume through the sharded pipeline of
+//! [`mg_core::parallel`]: large instances take the parallel kernels (per
+//! [`ShardPolicy`]), small ones the sequential scan. Both routes are
+//! bit-identical.
+
+use crate::runner::class_label;
+use mg_collection::batch::{expand_jobs, run_jobs, run_seed};
+use mg_collection::{generate, CollectionEntry, CollectionSpec};
+use mg_core::{sharded_volume, Method, ShardPolicy};
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{load_imbalance, MatrixClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration of a batched sweep.
+#[derive(Debug, Clone)]
+pub struct BatchSweepConfig {
+    /// Which collection to run on.
+    pub collection: CollectionSpec,
+    /// Methods to compare.
+    pub methods: Vec<Method>,
+    /// Load-imbalance parameters to sweep (the paper fixes ε = 0.03; the
+    /// batch engine treats ε as a sweep axis).
+    pub epsilons: Vec<f64>,
+    /// Repetitions per cell; results are averaged.
+    pub runs: u32,
+    /// Master seed folded into every cell's key hash.
+    pub seed: u64,
+    /// Engine preset (Mondriaan-like or PaToH-like).
+    pub engine: PartitionerConfig,
+    /// Worker threads for the job pool; 0 = one per available core.
+    pub threads: usize,
+    /// Intra-job routing policy for the verify pass: instances with at
+    /// least `min_parallel_nnz` nonzeros take the parallel kernels.
+    pub policy: ShardPolicy,
+    /// Cross-check every reported volume against an independent
+    /// recomputation through the sharded pipeline
+    /// ([`mg_core::sharded_volume`]); panics on mismatch. Off by default
+    /// — it doubles the volume work per run.
+    pub verify: bool,
+}
+
+impl BatchSweepConfig {
+    /// The paper's standard campaign: six methods, ε = 0.03.
+    pub fn paper(collection: CollectionSpec, engine: PartitionerConfig, runs: u32) -> Self {
+        BatchSweepConfig {
+            collection,
+            methods: Method::paper_set().to_vec(),
+            epsilons: vec![0.03],
+            runs,
+            seed: 0xB15EC7,
+            engine,
+            threads: 0,
+            policy: ShardPolicy::verification(),
+            verify: false,
+        }
+    }
+}
+
+/// One measured sweep cell.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Matrix name.
+    pub matrix: String,
+    /// Matrix class (paper's three-way split).
+    pub class: MatrixClass,
+    /// Matrix nonzero count.
+    pub nnz: usize,
+    /// Method label (`LB`, `MG+IR`, …).
+    pub method: String,
+    /// Load-imbalance parameter of this cell.
+    pub epsilon: f64,
+    /// Repetitions averaged.
+    pub runs: u32,
+    /// The cell's stable seed (hash of its key).
+    pub seed: u64,
+    /// Mean communication volume over the runs.
+    pub volume_avg: f64,
+    /// Worst load imbalance observed over the runs.
+    pub imbalance_max: f64,
+    /// Mean wall-clock partitioning time in seconds. Excluded from
+    /// [`BatchRecord::json_line`]: timing is machine noise, not part of
+    /// the deterministic result.
+    pub time_avg_s: f64,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BatchRecord {
+    /// The deterministic JSON-lines serialisation: every field that is a
+    /// pure function of (collection seed, cell key) — and nothing
+    /// wall-clock-dependent. Two sweeps agree on these bytes iff they
+    /// agree on results.
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"matrix\":\"{}\",\"class\":\"{}\",\"nnz\":{},\"method\":\"{}\",\
+             \"epsilon\":{},\"runs\":{},\"seed\":{},\"volume_avg\":{},\"imbalance_max\":{}}}",
+            escape_json(&self.matrix),
+            class_label(self.class),
+            self.nnz,
+            escape_json(&self.method),
+            self.epsilon,
+            self.runs,
+            self.seed,
+            self.volume_avg,
+            self.imbalance_max
+        )
+    }
+
+    /// [`BatchRecord::json_line`] plus the (non-deterministic) mean
+    /// wall-clock time, for human consumption.
+    pub fn json_line_with_timing(&self) -> String {
+        let line = self.json_line();
+        format!(
+            "{},\"time_avg_s\":{:.6}}}",
+            &line[..line.len() - 1],
+            self.time_avg_s
+        )
+    }
+}
+
+/// Serialises records as deterministic JSON lines (one per cell,
+/// trailing newline).
+pub fn records_to_jsonl(records: &[BatchRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.json_line());
+        out.push('\n');
+    }
+    out
+}
+
+pub(crate) fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Runs the batched sweep: expands the cross product into jobs, schedules
+/// them over the work-stealing pool, and returns one record per cell in
+/// canonical job order (matrix generation order, then method, then ε).
+pub fn run_batch_sweep(config: &BatchSweepConfig) -> Vec<BatchRecord> {
+    let entries = generate(&config.collection);
+    let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    let labels: Vec<String> = config
+        .methods
+        .iter()
+        .map(|m| m.label().to_string())
+        .collect();
+    let jobs = expand_jobs(&names, &labels, &config.epsilons, config.seed);
+    run_jobs(&jobs, worker_count(config.threads), |job| {
+        let entry = &entries[job.matrix_index];
+        let method = config.methods[job.method_index];
+        measure_cell(entry, method, job, config)
+    })
+}
+
+fn measure_cell(
+    entry: &CollectionEntry,
+    method: Method,
+    job: &mg_collection::BatchJob,
+    config: &BatchSweepConfig,
+) -> BatchRecord {
+    let runs = config.runs.max(1);
+    let mut volume_sum = 0.0f64;
+    let mut imbalance_max = 0.0f64;
+    let mut time_sum = 0.0f64;
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(run_seed(job, run));
+        let start = Instant::now();
+        let result = method.bipartition(&entry.matrix, job.epsilon, &config.engine, &mut rng);
+        time_sum += start.elapsed().as_secs_f64();
+        if config.verify {
+            // Independent recomputation through the sharded pipeline:
+            // large instances take the parallel kernel, small ones the
+            // sequential scan. Identical values either way, so the check
+            // never perturbs determinism.
+            let check = sharded_volume(&entry.matrix, &result.partition, &config.policy);
+            assert_eq!(
+                check, result.volume,
+                "volume mismatch for {} {} eps={}",
+                entry.name, job.method, job.epsilon
+            );
+        }
+        volume_sum += result.volume as f64;
+        if entry.matrix.nnz() > 0 {
+            imbalance_max = imbalance_max.max(load_imbalance(&result.partition));
+        }
+    }
+    BatchRecord {
+        matrix: entry.name.clone(),
+        class: entry.class,
+        nnz: entry.matrix.nnz(),
+        method: job.method.clone(),
+        epsilon: job.epsilon,
+        runs,
+        seed: job.seed,
+        volume_avg: volume_sum / runs as f64,
+        imbalance_max,
+        time_avg_s: time_sum / runs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_collection::CollectionScale;
+
+    fn smoke_config() -> BatchSweepConfig {
+        let mut cfg = BatchSweepConfig::paper(
+            CollectionSpec {
+                seed: 7,
+                scale: CollectionScale::Smoke,
+            },
+            PartitionerConfig::mondriaan_like(),
+            1,
+        );
+        cfg.methods = vec![
+            Method::LocalBest { refine: false },
+            Method::MediumGrain { refine: true },
+        ];
+        cfg.epsilons = vec![0.03, 0.1];
+        cfg.verify = true;
+        cfg
+    }
+
+    #[test]
+    fn batch_sweep_covers_the_full_cross_product() {
+        let cfg = smoke_config();
+        let records = run_batch_sweep(&cfg);
+        let entries = generate(&cfg.collection);
+        assert_eq!(
+            records.len(),
+            entries.len() * cfg.methods.len() * cfg.epsilons.len()
+        );
+        // ε is infeasible for a few heavy-tailed instances (an atomic
+        // row/column group can outweigh the budget), so the bound is a
+        // majority property, not a per-record invariant.
+        let mut within = 0usize;
+        for r in &records {
+            assert!(r.volume_avg >= 0.0);
+            assert!(r.time_avg_s >= 0.0);
+            assert!(r.imbalance_max.is_finite() && r.imbalance_max >= 0.0);
+            within += usize::from(r.imbalance_max <= r.epsilon + 1e-9);
+        }
+        assert!(
+            within * 10 >= records.len() * 9,
+            "only {within}/{} records within eps",
+            records.len()
+        );
+    }
+
+    #[test]
+    fn json_lines_are_deterministic_and_timing_is_opt_in() {
+        let r = BatchRecord {
+            matrix: "m\"1".to_string(),
+            class: MatrixClass::Symmetric,
+            nnz: 42,
+            method: "MG+IR".to_string(),
+            epsilon: 0.03,
+            runs: 2,
+            seed: 99,
+            volume_avg: 12.5,
+            imbalance_max: 0.01,
+            time_avg_s: 1.0,
+        };
+        let line = r.json_line();
+        assert_eq!(
+            line,
+            "{\"matrix\":\"m\\\"1\",\"class\":\"Sym\",\"nnz\":42,\"method\":\"MG+IR\",\
+             \"epsilon\":0.03,\"runs\":2,\"seed\":99,\"volume_avg\":12.5,\"imbalance_max\":0.01}"
+        );
+        assert!(!line.contains("time_avg_s"));
+        let timed = r.json_line_with_timing();
+        assert!(timed.starts_with(&line[..line.len() - 1]));
+        assert!(timed.contains("\"time_avg_s\":1.000000"));
+        assert!(timed.ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let cfg = smoke_config();
+        let records = run_batch_sweep(&cfg);
+        let jsonl = records_to_jsonl(&records);
+        assert_eq!(jsonl.lines().count(), records.len());
+        assert!(jsonl.ends_with('\n'));
+    }
+}

@@ -6,9 +6,13 @@
 
 use mg_bench::experiments::{
     class_summary, fig3_gd97b, fig4_profiles, fig5_time_profile, multiway_volume_profile,
-    patoh_multiway_sweep, patoh_sweep, render_fig3, render_table2, standard_sweep, table1_geomeans,
+    patoh_multiway_sweep, patoh_sweep, render_fig3, render_table2, table1_geomeans,
 };
-use mg_bench::{multiway_to_csv, records_to_csv, write_artifact, CliOptions};
+use mg_bench::{
+    batch_to_run_records, multiway_to_csv, records_to_csv, records_to_jsonl, run_batch_sweep,
+    write_artifact, BatchSweepConfig, CliOptions,
+};
+use mg_partitioner::PartitionerConfig;
 use std::time::Instant;
 
 fn main() {
@@ -29,9 +33,22 @@ fn main() {
     summary.push_str(&fig3);
     summary.push_str("```\n\n");
 
-    // --- Figs 4, 5 and Table I share the Mondriaan-like sweep. ---
-    eprintln!("[2/5] Mondriaan-like sweep (figs 4, 5, table I)...");
-    let records = standard_sweep(opts.collection(), opts.runs, opts.threads);
+    // --- Figs 4, 5 and Table I share the Mondriaan-like sweep, run once
+    // through the batch engine so the JSONL stream and the figures come
+    // from the same records. ---
+    eprintln!("[2/5] Mondriaan-like batched sweep (figs 4, 5, table I)...");
+    let batch_config = {
+        let mut c = BatchSweepConfig::paper(
+            opts.collection(),
+            PartitionerConfig::mondriaan_like(),
+            opts.runs,
+        );
+        c.threads = opts.threads;
+        c
+    };
+    let batch_records = run_batch_sweep(&batch_config);
+    write_artifact("sweep_p2.jsonl", &records_to_jsonl(&batch_records));
+    let records = batch_to_run_records(batch_records);
     write_artifact("fig4_records.csv", &records_to_csv(&records));
     summary.push_str(&format!(
         "collection: {} matrices ({})\n\n",

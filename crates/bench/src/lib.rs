@@ -13,19 +13,23 @@
 //! | everything, with CSV artifacts under `results/` | `run_all` |
 //!
 //! The library half provides the pieces: Dolan–Moré performance profiles
-//! ([`profiles`]), normalised geometric means ([`geomean`]), the parallel
-//! sweep runner ([`runner`]) and common CLI/output plumbing ([`report`]).
+//! ([`profiles`]), normalised geometric means ([`geomean`]), the batched
+//! work-stealing sweep engine with JSON-lines output ([`batch`]), the
+//! record-level sweep views built on it ([`runner`]) and common CLI/output
+//! plumbing ([`report`]).
 
+pub mod batch;
 pub mod experiments;
 pub mod geomean;
 pub mod profiles;
 pub mod report;
 pub mod runner;
 
+pub use batch::{records_to_jsonl, run_batch_sweep, BatchRecord, BatchSweepConfig};
 pub use geomean::{geometric_mean, normalized_geomean_table, GeomeanTable};
 pub use profiles::{performance_profile, PerformanceProfile};
 pub use report::{results_dir, write_artifact, CliOptions};
 pub use runner::{
-    multiway_to_csv, pivot_records, records_to_csv, run_multiway_sweep, run_sweep, MultiwayRecord,
-    RunRecord, SweepConfig,
+    batch_to_run_records, multiway_to_csv, pivot_records, records_to_csv, run_multiway_sweep,
+    run_sweep, MultiwayRecord, RunRecord, SweepConfig,
 };

@@ -3,18 +3,19 @@
 //! Runs every method of the paper's comparison over a (synthetic)
 //! collection, averaging communication volume and wall-clock partitioning
 //! time over several runs, exactly like §IV ("the average communication
-//! volume and partitioning time of 10 runs"). Matrices are distributed over
-//! worker threads with a shared atomic cursor; each individual partitioning
-//! run stays sequential, like the paper's.
+//! volume and partitioning time of 10 runs"). Both sweeps are thin views
+//! over the batched engine of [`crate::batch`]: cells are scheduled on
+//! the work-stealing pool and seeded from stable key hashes, so records
+//! are identical for every thread count.
 
-use mg_collection::{generate, CollectionEntry, CollectionSpec};
-use mg_core::{recursive_bisection, Method};
+use crate::batch::{run_batch_sweep, worker_count, BatchSweepConfig};
+use mg_collection::batch::{expand_jobs, run_jobs, run_seed};
+use mg_collection::{generate, CollectionSpec};
+use mg_core::{recursive_bisection, Method, ShardPolicy};
 use mg_partitioner::PartitionerConfig;
 use mg_sparse::{bsp_cost, Idx, MatrixClass};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Configuration of a sweep.
@@ -89,144 +90,105 @@ pub struct MultiwayRecord {
     pub time_avg_s: f64,
 }
 
-fn derive_seed(master: u64, matrix_index: usize, method_index: usize, run: u32) -> u64 {
-    // SplitMix-style mixing keeps streams independent.
-    let mut x = master
-        ^ (matrix_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ ((method_index as u64) << 40)
-        ^ ((run as u64) << 20);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-fn worker_count(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+/// Projects batch records onto the [`RunRecord`] view the profile and
+/// geomean layers consume (drops the ε/seed/imbalance fields), sorted by
+/// matrix name then method label.
+///
+/// The projection is only meaningful for a single-ε sweep — `RunRecord`
+/// has no ε field, so records from different ε values would collapse
+/// into duplicate (matrix, method) cells and silently corrupt the
+/// profiles downstream. Multi-ε input therefore panics; split the
+/// records by ε first.
+pub fn batch_to_run_records(records: Vec<crate::batch::BatchRecord>) -> Vec<RunRecord> {
+    if let Some(first) = records.first() {
+        assert!(
+            records.iter().all(|r| r.epsilon == first.epsilon),
+            "batch_to_run_records projects a single-epsilon sweep; \
+             partition multi-epsilon records by epsilon first"
+        );
     }
-}
-
-/// Runs the p = 2 sweep, returning one record per (matrix, method), sorted
-/// by matrix name then method label.
-pub fn run_sweep(config: &SweepConfig) -> Vec<RunRecord> {
-    let entries = generate(&config.collection);
-    let records = Mutex::new(Vec::with_capacity(entries.len() * config.methods.len()));
-    let cursor = AtomicUsize::new(0);
-    let workers = worker_count(config.threads);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= entries.len() {
-                    break;
-                }
-                let entry = &entries[idx];
-                let mut local = Vec::with_capacity(config.methods.len());
-                for (mi, method) in config.methods.iter().enumerate() {
-                    let (volume_avg, time_avg_s) =
-                        measure_bipartition(entry, *method, config, idx, mi);
-                    local.push(RunRecord {
-                        matrix: entry.name.clone(),
-                        class: entry.class,
-                        nnz: entry.matrix.nnz(),
-                        method: method.label().to_string(),
-                        volume_avg,
-                        time_avg_s,
-                        runs: config.runs,
-                    });
-                }
-                records.lock().extend(local);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let mut out = records.into_inner();
+    let mut out: Vec<RunRecord> = records
+        .into_iter()
+        .map(|r| RunRecord {
+            matrix: r.matrix,
+            class: r.class,
+            nnz: r.nnz,
+            method: r.method,
+            volume_avg: r.volume_avg,
+            time_avg_s: r.time_avg_s,
+            runs: r.runs,
+        })
+        .collect();
     out.sort_by(|a, b| (a.matrix.as_str(), a.method.as_str()).cmp(&(&b.matrix, &b.method)));
     out
 }
 
-fn measure_bipartition(
-    entry: &CollectionEntry,
-    method: Method,
-    config: &SweepConfig,
-    matrix_index: usize,
-    method_index: usize,
-) -> (f64, f64) {
-    let mut volume_sum = 0.0f64;
-    let mut time_sum = 0.0f64;
-    for run in 0..config.runs {
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(config.seed, matrix_index, method_index, run));
-        let start = Instant::now();
-        let result = method.bipartition(&entry.matrix, config.epsilon, &config.engine, &mut rng);
-        time_sum += start.elapsed().as_secs_f64();
-        volume_sum += result.volume as f64;
-    }
-    (
-        volume_sum / config.runs as f64,
-        time_sum / config.runs as f64,
-    )
+/// Runs the p = 2 sweep, returning one record per (matrix, method), sorted
+/// by matrix name then method label. A thin view over
+/// [`crate::batch::run_batch_sweep`] with a single-ε axis.
+pub fn run_sweep(config: &SweepConfig) -> Vec<RunRecord> {
+    let batch = BatchSweepConfig {
+        collection: config.collection.clone(),
+        methods: config.methods.clone(),
+        epsilons: vec![config.epsilon],
+        runs: config.runs,
+        seed: config.seed,
+        engine: config.engine.clone(),
+        threads: config.threads,
+        policy: ShardPolicy::sequential(),
+        verify: false,
+    };
+    batch_to_run_records(run_batch_sweep(&batch))
 }
 
 /// Runs the p-way sweep (recursive bisection), additionally measuring the
-/// BSP cost of each partitioning (Table II).
+/// BSP cost of each partitioning (Table II). Cells are scheduled on the
+/// same work-stealing pool as the p = 2 sweep; `p` is folded into the
+/// master seed so the p = 2 and p = 64 campaigns draw independent
+/// streams.
 pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
     let entries = generate(&config.collection);
-    let records = Mutex::new(Vec::with_capacity(entries.len() * config.methods.len()));
-    let cursor = AtomicUsize::new(0);
-    let workers = worker_count(config.threads);
+    let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    let labels: Vec<String> = config
+        .methods
+        .iter()
+        .map(|m| m.label().to_string())
+        .collect();
+    let master = config.seed ^ (u64::from(p) << 32) ^ 0x4D57_4159; // "MWAY"
+    let jobs = expand_jobs(&names, &labels, &[config.epsilon], master);
+    let runs = config.runs.max(1);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= entries.len() {
-                    break;
-                }
-                let entry = &entries[idx];
-                let mut local = Vec::with_capacity(config.methods.len());
-                for (mi, method) in config.methods.iter().enumerate() {
-                    let mut volume_sum = 0.0;
-                    let mut cost_sum = 0.0;
-                    let mut time_sum = 0.0;
-                    for run in 0..config.runs {
-                        let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, idx, mi, run));
-                        let start = Instant::now();
-                        let result = recursive_bisection(
-                            &entry.matrix,
-                            p,
-                            config.epsilon,
-                            *method,
-                            &config.engine,
-                            &mut rng,
-                        );
-                        time_sum += start.elapsed().as_secs_f64();
-                        volume_sum += result.volume as f64;
-                        cost_sum += bsp_cost(&entry.matrix, &result.partition).total() as f64;
-                    }
-                    local.push(MultiwayRecord {
-                        matrix: entry.name.clone(),
-                        class: entry.class,
-                        method: method.label().to_string(),
-                        p,
-                        volume_avg: volume_sum / config.runs as f64,
-                        bsp_cost_avg: cost_sum / config.runs as f64,
-                        time_avg_s: time_sum / config.runs as f64,
-                    });
-                }
-                records.lock().extend(local);
-            });
+    let mut out: Vec<MultiwayRecord> = run_jobs(&jobs, worker_count(config.threads), |job| {
+        let entry = &entries[job.matrix_index];
+        let method = config.methods[job.method_index];
+        let mut volume_sum = 0.0;
+        let mut cost_sum = 0.0;
+        let mut time_sum = 0.0;
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(run_seed(job, run));
+            let start = Instant::now();
+            let result = recursive_bisection(
+                &entry.matrix,
+                p,
+                job.epsilon,
+                method,
+                &config.engine,
+                &mut rng,
+            );
+            time_sum += start.elapsed().as_secs_f64();
+            volume_sum += result.volume as f64;
+            cost_sum += bsp_cost(&entry.matrix, &result.partition).total() as f64;
         }
-    })
-    .expect("multiway sweep worker panicked");
-
-    let mut out = records.into_inner();
+        MultiwayRecord {
+            matrix: entry.name.clone(),
+            class: entry.class,
+            method: job.method.clone(),
+            p,
+            volume_avg: volume_sum / runs as f64,
+            bsp_cost_avg: cost_sum / runs as f64,
+            time_avg_s: time_sum / runs as f64,
+        }
+    });
     out.sort_by(|a, b| (a.matrix.as_str(), a.method.as_str()).cmp(&(&b.matrix, &b.method)));
     out
 }
@@ -364,6 +326,39 @@ mod tests {
             assert_eq!(a.matrix, b.matrix);
             assert_eq!(a.method, b.method);
             assert_eq!(a.volume_avg, b.volume_avg, "{} {}", a.matrix, a.method);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-epsilon")]
+    fn multi_epsilon_records_are_rejected_by_the_projection() {
+        let mut cfg = crate::batch::BatchSweepConfig::paper(
+            CollectionSpec {
+                seed: 7,
+                scale: CollectionScale::Smoke,
+            },
+            PartitionerConfig::mondriaan_like(),
+            1,
+        );
+        cfg.methods = vec![Method::LocalBest { refine: false }];
+        cfg.epsilons = vec![0.03, 0.1];
+        let records = crate::batch::run_batch_sweep(&cfg);
+        let _ = batch_to_run_records(records);
+    }
+
+    #[test]
+    fn multiway_sweep_is_deterministic_across_thread_counts() {
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        let one = run_multiway_sweep(&cfg, 4);
+        cfg.threads = 3;
+        let three = run_multiway_sweep(&cfg, 4);
+        assert_eq!(one.len(), three.len());
+        for (a, b) in one.iter().zip(&three) {
+            assert_eq!(a.matrix, b.matrix);
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.volume_avg, b.volume_avg, "{} {}", a.matrix, a.method);
+            assert_eq!(a.bsp_cost_avg, b.bsp_cost_avg, "{} {}", a.matrix, a.method);
         }
     }
 

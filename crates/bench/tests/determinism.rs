@@ -1,0 +1,81 @@
+//! The whole-sweep determinism contract (§V extended from a single split
+//! to the batched campaign): the serialized results of the Smoke-scale
+//! sweep must be byte-identical for every thread count, and every cell's
+//! values must be a pure function of its (matrix, method, ε) key — never
+//! of sweep order or scheduling.
+
+use mg_bench::{records_to_jsonl, run_batch_sweep, BatchSweepConfig};
+use mg_collection::{CollectionScale, CollectionSpec};
+use mg_core::Method;
+use mg_partitioner::PartitionerConfig;
+
+fn smoke_config(threads: usize) -> BatchSweepConfig {
+    let mut cfg = BatchSweepConfig::paper(
+        CollectionSpec {
+            seed: 11,
+            scale: CollectionScale::Smoke,
+        },
+        PartitionerConfig::mondriaan_like(),
+        1,
+    );
+    cfg.methods = vec![
+        Method::LocalBest { refine: false },
+        Method::MediumGrain { refine: true },
+        Method::FineGrain { refine: false },
+    ];
+    cfg.epsilons = vec![0.03, 0.1];
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn smoke_sweep_is_byte_identical_for_1_2_4_8_threads() {
+    let baseline = records_to_jsonl(&run_batch_sweep(&smoke_config(1)));
+    assert!(!baseline.is_empty());
+    for threads in [2usize, 4, 8] {
+        let jsonl = records_to_jsonl(&run_batch_sweep(&smoke_config(threads)));
+        assert_eq!(
+            baseline, jsonl,
+            "serialized sweep diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cell_results_are_independent_of_the_sweep_shape() {
+    // Key-hash seeding: dropping methods and reordering the ε axis must
+    // not change any surviving cell's bytes.
+    let full: Vec<String> = run_batch_sweep(&smoke_config(4))
+        .iter()
+        .map(|r| r.json_line())
+        .collect();
+
+    let mut narrow_cfg = smoke_config(2);
+    narrow_cfg.methods = vec![Method::MediumGrain { refine: true }];
+    narrow_cfg.epsilons = vec![0.1, 0.03]; // reversed
+    let narrow = run_batch_sweep(&narrow_cfg);
+
+    for record in &narrow {
+        let line = record.json_line();
+        assert!(
+            full.contains(&line),
+            "cell {} {} eps={} changed when the sweep shrank",
+            record.matrix,
+            record.method,
+            record.epsilon
+        );
+    }
+}
+
+#[test]
+fn repeated_sweeps_are_byte_identical() {
+    let cfg = {
+        let mut c = smoke_config(3);
+        c.methods = vec![Method::MediumGrain { refine: false }];
+        c.epsilons = vec![0.03];
+        c
+    };
+    let a = records_to_jsonl(&run_batch_sweep(&cfg));
+    let b = records_to_jsonl(&run_batch_sweep(&cfg));
+    assert_eq!(a, b);
+}

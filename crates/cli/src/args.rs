@@ -10,7 +10,17 @@ pub struct Parsed {
 }
 
 /// Flags that take a value; everything else starting with `-` is a switch.
-const VALUE_FLAGS: &[&str] = &["-p", "-e", "-m", "-o", "--engine", "--seed"];
+const VALUE_FLAGS: &[&str] = &[
+    "-p",
+    "-e",
+    "-m",
+    "-o",
+    "--engine",
+    "--seed",
+    "--scale",
+    "--threads",
+    "--runs",
+];
 
 impl Parsed {
     /// Splits `argv` into positionals, valued flags and switches.
@@ -125,5 +135,23 @@ mod tests {
     fn last_occurrence_wins() {
         let p = Parsed::parse(&argv(&["-m", "lb", "-m", "fg"])).unwrap();
         assert_eq!(p.flag("-m", "mg"), "fg");
+    }
+
+    #[test]
+    fn sweep_flags_take_values() {
+        let p = Parsed::parse(&argv(&[
+            "--scale",
+            "smoke",
+            "--threads",
+            "4",
+            "--runs",
+            "2",
+            "--timing",
+        ]))
+        .unwrap();
+        assert_eq!(p.flag("--scale", "default"), "smoke");
+        assert_eq!(p.flag_parse("--threads", 0usize).unwrap(), 4);
+        assert_eq!(p.flag_parse("--runs", 1u32).unwrap(), 2);
+        assert!(p.has("--timing"));
     }
 }

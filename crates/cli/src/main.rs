@@ -7,9 +7,12 @@
 //! mgpart analyze   <matrix.mtx>
 //! mgpart generate  <family> [size] [-o out.mtx] [--seed S]
 //! mgpart volume    <distributed.mtx>
+//! mgpart sweep     [--scale S] [--threads N] [--runs N] [-m LIST] [-e LIST] [-o out.jsonl]
 //! mgpart help
 //! ```
 
+use mg_bench::{run_batch_sweep, BatchSweepConfig};
+use mg_collection::{CollectionScale, CollectionSpec};
 use mg_core::{recursive_bisection, Method};
 use mg_partitioner::PartitionerConfig;
 use mg_sparse::{
@@ -31,6 +34,7 @@ USAGE:
   mgpart analyze   <matrix.mtx>             pattern statistics + spy plot
   mgpart generate  <family> [size]          write a synthetic matrix
   mgpart volume    <distributed.mtx>        metrics of a stored partition
+  mgpart sweep     [options]                batched collection sweep (JSON lines)
   mgpart help
 
 PARTITION OPTIONS:
@@ -41,6 +45,22 @@ PARTITION OPTIONS:
   --engine E    mondriaan | patoh  (default mondriaan)
   --seed S      RNG seed (default 2014)
   --spy         render a partition spy plot
+
+SWEEP OPTIONS:
+  --scale S     smoke | default | large  (default smoke)
+  --threads N   worker threads, 0 = all cores  (default 0)
+  --runs N      repetitions per (matrix, method, eps) cell  (default 1)
+  -m LIST       comma-separated methods  (default lb,lb-ir,mg,mg-ir,fg,fg-ir)
+  -e LIST       comma-separated epsilons  (default 0.03)
+  --engine E    mondriaan | patoh  (default mondriaan)
+  --seed S      master seed; every cell derives its own stream  (default 2014)
+  -o FILE       write JSON lines to FILE instead of stdout
+  --timing      append mean wall-clock time to each line (non-deterministic)
+  --verify      cross-check every volume through the sharded pipeline
+                (instances of 1024+ nonzeros take the parallel kernels)
+
+  Results are bit-identical for any --threads value: each cell is seeded
+  from a stable hash of its (matrix, method, eps) key, not sweep order.
 
 GENERATE FAMILIES:
   laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
@@ -71,6 +91,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => analyze(&Parsed::parse(&argv[1..])?),
         "generate" => generate(&Parsed::parse(&argv[1..])?),
         "volume" => volume(&Parsed::parse(&argv[1..])?),
+        "sweep" => sweep(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -206,6 +227,81 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
         a.nnz(),
         PatternStats::compute(&a).class()
     );
+    Ok(())
+}
+
+fn sweep(parsed: &Parsed) -> Result<(), String> {
+    let scale = match parsed.flag("--scale", "smoke").as_str() {
+        "smoke" => CollectionScale::Smoke,
+        "default" => CollectionScale::Default,
+        "large" => CollectionScale::Large,
+        other => return Err(format!("unknown scale {other:?} (smoke|default|large)")),
+    };
+    let threads: usize = parsed.flag_parse("--threads", 0)?;
+    let runs: u32 = parsed.flag_parse("--runs", 1)?;
+    let seed: u64 = parsed.flag_parse("--seed", 2014)?;
+    let engine = engine_from_name(&parsed.flag("--engine", "mondriaan"))?;
+    let methods: Vec<Method> = match parsed.flag_opt("-m") {
+        None => Method::paper_set().to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(method_from_name)
+            .collect::<Result<_, _>>()?,
+    };
+    let epsilons: Vec<f64> = match parsed.flag_opt("-e") {
+        None => vec![0.03],
+        Some(list) => list
+            .split(',')
+            .map(|e| {
+                let value = e
+                    .parse::<f64>()
+                    .map_err(|err| format!("bad epsilon {e:?}: {err}"))?;
+                if !value.is_finite() || value < 0.0 {
+                    return Err(format!("epsilon {e:?} must be finite and non-negative"));
+                }
+                Ok(value)
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if methods.is_empty() || epsilons.is_empty() {
+        return Err("sweep needs at least one method and one epsilon".into());
+    }
+
+    let mut config = BatchSweepConfig::paper(CollectionSpec { seed, scale }, engine, runs);
+    config.methods = methods;
+    config.epsilons = epsilons;
+    config.seed = seed;
+    config.threads = threads;
+    config.verify = parsed.has("--verify");
+
+    let start = std::time::Instant::now();
+    let records = run_batch_sweep(&config);
+    let timing = parsed.has("--timing");
+    let mut out = String::new();
+    for record in &records {
+        out.push_str(&if timing {
+            record.json_line_with_timing()
+        } else {
+            record.json_line()
+        });
+        out.push('\n');
+    }
+    match parsed.flag_opt("-o") {
+        Some(path) => {
+            std::fs::write(&path, &out).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "{path}: {} cells ({} matrices) in {:.1}s",
+                records.len(),
+                records
+                    .iter()
+                    .map(|r| &r.matrix)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+        None => print!("{out}"),
+    }
     Ok(())
 }
 

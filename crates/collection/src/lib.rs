@@ -11,9 +11,16 @@
 //!
 //! Everything is a pure function of the [`CollectionSpec`] seed, so the
 //! whole experiment pipeline is reproducible bit-for-bit.
+//!
+//! The [`batch`] module turns a collection into a sweep substrate: it
+//! expands (matrix × method × ε) cells into a job list with stable
+//! per-key seeds and schedules them over a work-stealing worker pool with
+//! thread-count-independent results.
 
+pub mod batch;
 pub mod gd97b;
 pub mod suite;
 
+pub use batch::{expand_jobs, job_seed, run_batch, run_jobs, run_seed, BatchJob};
 pub use gd97b::gd97b_twin;
 pub use suite::{generate, CollectionEntry, CollectionScale, CollectionSpec};

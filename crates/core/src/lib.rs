@@ -36,7 +36,10 @@ pub use full_iterative::{medium_grain_full_iterative, FullIterativeOptions};
 pub use kway::{kway_refine, KwayOutcome};
 pub use medium_grain::{medium_grain_bipartition, medium_grain_bipartition_with_split};
 pub use methods::{BipartitionResult, Method};
-pub use parallel::{parallel_communication_volume, parallel_split_with_preference};
+pub use parallel::{
+    parallel_communication_volume, parallel_split_with_preference, sharded_split, sharded_volume,
+    ShardPolicy,
+};
 pub use recursive::{recursive_bisection, MultiwayResult};
 pub use refine::{iterative_refinement, RefineOptions};
 pub use split::{initial_split, split_with_strategy, GlobalPreference, Split, SplitStrategy};

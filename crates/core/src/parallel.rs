@@ -9,8 +9,82 @@
 //! sequential implementations (verified by tests) — determinism is part of
 //! the contract, since experiment reproducibility depends on it.
 
-use crate::split::{GlobalPreference, Split};
-use mg_sparse::{Coo, Csc, Idx, NonzeroPartition};
+use crate::split::{split_with_preference, GlobalPreference, Split};
+use mg_sparse::{communication_volume, Coo, Csc, Idx, NonzeroPartition};
+
+/// Routing policy of the sharded pipeline: how many threads to use, and
+/// below which nonzero count parallelism is not worth the fork/join cost.
+///
+/// The batched sweep engine hands every instance through this policy:
+/// large matrices take the parallel split/volume kernels, small ones stay
+/// on the sequential code path. Both routes are bit-identical, so the
+/// policy only affects wall-clock time, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Threads available for one instance (1 = always sequential).
+    pub threads: usize,
+    /// Minimum nonzero count before the parallel kernels switch on.
+    pub min_parallel_nnz: usize,
+}
+
+impl ShardPolicy {
+    /// Default parallelism cutoff; below ~64k nonzeros the per-thread
+    /// count/scan buffers dominate the work being sharded.
+    pub const DEFAULT_MIN_PARALLEL_NNZ: usize = 1 << 16;
+
+    /// Policy with the default cutoff.
+    pub fn new(threads: usize) -> Self {
+        ShardPolicy {
+            threads: threads.max(1),
+            min_parallel_nnz: Self::DEFAULT_MIN_PARALLEL_NNZ,
+        }
+    }
+
+    /// The always-sequential policy.
+    pub fn sequential() -> Self {
+        ShardPolicy::new(1)
+    }
+
+    /// The cross-checking policy: a low threshold (1024 nonzeros) so that
+    /// verification passes actually route realistic instances through the
+    /// parallel kernels — an independent implementation is a stronger
+    /// check than re-running the same sequential scan, and in a verify
+    /// pass independence matters more than fork/join overhead.
+    pub fn verification() -> Self {
+        ShardPolicy {
+            threads: 2,
+            min_parallel_nnz: 1024,
+        }
+    }
+
+    /// `Some(threads)` if an instance of `nnz` nonzeros should take the
+    /// parallel route, `None` for the sequential one.
+    pub fn parallelism_for(&self, nnz: usize) -> Option<usize> {
+        (self.threads > 1 && nnz >= self.min_parallel_nnz).then_some(self.threads)
+    }
+}
+
+/// Sharded pipeline entry point for Algorithm 1: routes through
+/// [`parallel_split_with_preference`] or the sequential
+/// [`split_with_preference`] according to `policy`. Bit-identical either
+/// way.
+pub fn sharded_split(a: &Coo, preference: GlobalPreference, policy: &ShardPolicy) -> Split {
+    match policy.parallelism_for(a.nnz()) {
+        Some(threads) => parallel_split_with_preference(a, preference, threads),
+        None => split_with_preference(a, preference),
+    }
+}
+
+/// Sharded pipeline entry point for the volume metric: routes through
+/// [`parallel_communication_volume`] or the sequential
+/// [`mg_sparse::communication_volume`] according to `policy`.
+/// Bit-identical either way.
+pub fn sharded_volume(a: &Coo, partition: &NonzeroPartition, policy: &ShardPolicy) -> u64 {
+    match policy.parallelism_for(a.nnz()) {
+        Some(threads) => parallel_communication_volume(a, partition, threads),
+        None => communication_volume(a, partition),
+    }
+}
 
 /// Evenly sized chunk ranges covering `0..len`.
 fn chunks(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
@@ -242,6 +316,109 @@ mod tests {
                 assert_eq!(covered, len);
             }
         }
+    }
+
+    #[test]
+    fn chunks_of_nothing_is_one_empty_range() {
+        // len == 0 must not panic or divide by zero, whatever the piece
+        // count; it collapses to the single range 0..0.
+        for pieces in [0usize, 1, 5, 64] {
+            assert_eq!(chunks(0, pieces), vec![0..0], "pieces = {pieces}");
+        }
+    }
+
+    #[test]
+    fn more_pieces_than_items_clamps_to_singletons() {
+        // pieces > len: one item per range, never an empty range.
+        let ranges = chunks(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+        assert_eq!(chunks(1, usize::MAX), vec![0..1]);
+    }
+
+    #[test]
+    fn uneven_remainders_spread_over_the_leading_chunks() {
+        assert_eq!(chunks(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunks(7, 4), vec![0..2, 2..4, 4..6, 6..7]);
+        // Sizes differ by at most one, larger chunks first.
+        for (len, pieces) in [(23usize, 5usize), (100, 7), (64, 16)] {
+            let sizes: Vec<usize> = chunks(len, pieces).iter().map(|r| r.len()).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "len {len}, pieces {pieces}: {sizes:?}");
+            assert!(
+                sizes.windows(2).all(|w| w[0] >= w[1]),
+                "len {len}, pieces {pieces}: {sizes:?}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn chunk_ranges_exactly_tile_the_index_space(
+            len in 0usize..2_000,
+            pieces in 0usize..64,
+        ) {
+            let ranges = chunks(len, pieces);
+            proptest::prop_assert!(!ranges.is_empty());
+            proptest::prop_assert_eq!(ranges.len(), pieces.max(1).min(len.max(1)));
+            let mut next = 0usize;
+            for r in &ranges {
+                proptest::prop_assert_eq!(r.start, next, "gap or overlap at {}", r.start);
+                proptest::prop_assert!(r.end >= r.start);
+                next = r.end;
+            }
+            proptest::prop_assert_eq!(next, len);
+        }
+    }
+
+    #[test]
+    fn sharded_split_routes_both_ways_identically() {
+        let a = random_matrix(5);
+        let sequential = ShardPolicy::sequential();
+        let parallel = ShardPolicy {
+            threads: 4,
+            min_parallel_nnz: 0,
+        };
+        assert!(sequential.parallelism_for(a.nnz()).is_none());
+        assert_eq!(parallel.parallelism_for(a.nnz()), Some(4));
+        for pref in [GlobalPreference::Rows, GlobalPreference::Columns] {
+            assert_eq!(
+                sharded_split(&a, pref, &sequential),
+                sharded_split(&a, pref, &parallel)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_volume_routes_both_ways_identically() {
+        let a = random_matrix(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parts: Vec<Idx> = (0..a.nnz()).map(|_| rng.gen_range(0..3)).collect();
+        let np = NonzeroPartition::new(3, parts).unwrap();
+        let sequential = ShardPolicy::sequential();
+        let parallel = ShardPolicy {
+            threads: 4,
+            min_parallel_nnz: 0,
+        };
+        assert_eq!(
+            sharded_volume(&a, &np, &sequential),
+            sharded_volume(&a, &np, &parallel)
+        );
+    }
+
+    #[test]
+    fn policy_threshold_keeps_small_instances_sequential() {
+        let policy = ShardPolicy::new(8);
+        assert_eq!(
+            policy.min_parallel_nnz,
+            ShardPolicy::DEFAULT_MIN_PARALLEL_NNZ
+        );
+        assert!(policy.parallelism_for(100).is_none());
+        assert_eq!(
+            policy.parallelism_for(ShardPolicy::DEFAULT_MIN_PARALLEL_NNZ),
+            Some(8)
+        );
+        // threads are clamped to at least 1.
+        assert_eq!(ShardPolicy::new(0).threads, 1);
     }
 
     #[test]

@@ -2,16 +2,71 @@
 //!
 //! Implements the subset of the criterion API the workspace's benches use —
 //! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter` and the
-//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
-//! mean-of-N timing loop instead of criterion's statistical machinery.
-//! `cargo bench` therefore still produces comparable per-benchmark numbers,
-//! and `cargo bench --no-run` exercises exactly the same bench code paths.
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! timed per sample and reported with real statistics ([`SampleStats`]:
+//! median, min, max, mean and standard deviation) instead of criterion's
+//! full bootstrap machinery. `cargo bench` therefore produces robust
+//! per-benchmark numbers, and `cargo bench --no-run` exercises exactly the
+//! same bench code paths.
 
 use std::time::Instant;
 
-/// Iterations per measurement; kept small because the shim reports a plain
-/// mean rather than a distribution.
+/// Samples per measurement.
 const DEFAULT_SAMPLES: usize = 10;
+
+/// Summary statistics over the per-sample times of one benchmark.
+///
+/// The median is the headline number: unlike the mean it is robust to the
+/// occasional scheduler hiccup inflating one sample. All values are in
+/// nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples summarised.
+    pub samples: usize,
+    /// Median sample (midpoint average for even counts).
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Population standard deviation.
+    pub std_dev_ns: f64,
+}
+
+/// Summarises raw per-sample nanosecond times. Returns `None` for an
+/// empty sample set.
+pub fn summarize(samples_ns: &[u128]) -> Option<SampleStats> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    let n = samples_ns.len();
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_unstable();
+    let median_ns = if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
+    };
+    let mean_ns = sorted.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let variance = sorted
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean_ns;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    Some(SampleStats {
+        samples: n,
+        median_ns,
+        min_ns: sorted[0],
+        max_ns: sorted[n - 1],
+        mean_ns,
+        std_dev_ns: variance.sqrt(),
+    })
+}
 
 #[derive(Default)]
 pub struct Criterion {
@@ -81,36 +136,62 @@ impl BenchmarkGroup<'_> {
 fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         samples,
-        total_nanos: 0,
-        iterations: 0,
+        sample_ns: Vec::with_capacity(samples),
     };
     f(&mut bencher);
-    let mean = bencher
-        .total_nanos
-        .checked_div(bencher.iterations)
-        .unwrap_or(0);
-    println!(
-        "bench: {label:<48} {mean:>12} ns/iter ({} iters)",
-        bencher.iterations
-    );
+    match summarize(&bencher.sample_ns) {
+        Some(stats) => println!(
+            "bench: {label:<48} median {:>10.0} ns/iter \
+             (min {}, max {}, mean {:.1}, sd {:.1}, {} samples)",
+            stats.median_ns,
+            stats.min_ns,
+            stats.max_ns,
+            stats.mean_ns,
+            stats.std_dev_ns,
+            stats.samples
+        ),
+        None => println!("bench: {label:<48} no samples (Bencher::iter never called)"),
+    }
 }
 
 pub struct Bencher {
     samples: usize,
-    total_nanos: u128,
-    iterations: u128,
+    /// Nanoseconds **per iteration** for each sample.
+    sample_ns: Vec<u128>,
 }
+
+/// One timer read must amortize over at least this much work, or clock
+/// quantization and `Instant` overhead dominate the sample.
+const SAMPLE_FLOOR_NS: u128 = 10_000;
+
+/// Calibration cap so ultra-fast closures cannot spin forever.
+const MAX_BATCH: u128 = 1 << 22;
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // One warm-up call, then the timed loop.
+        // Warm-up, then calibrate a batch size: double until one timed
+        // batch reaches the sample floor. Sub-floor closures get their
+        // timer overhead amortized over the whole batch; closures slower
+        // than the floor keep batch = 1 (one timer read per call).
         black_box(f());
-        let start = Instant::now();
-        for _ in 0..self.samples {
-            black_box(f());
+        let mut batch: u128 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if start.elapsed().as_nanos() >= SAMPLE_FLOOR_NS || batch >= MAX_BATCH {
+                break;
+            }
+            batch *= 2;
         }
-        self.total_nanos += start.elapsed().as_nanos();
-        self.iterations += self.samples as u128;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.sample_ns.push(start.elapsed().as_nanos() / batch);
+        }
     }
 }
 
@@ -157,4 +238,78 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample_count_has_exact_median() {
+        let s = summarize(&[5, 1, 3, 2, 4]).unwrap();
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.median_ns, 3.0);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 5);
+        assert_eq!(s.mean_ns, 3.0);
+        // Population variance of 1..=5 is 2.
+        assert!((s.std_dev_ns - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_sample_count_averages_the_midpoints() {
+        let s = summarize(&[10, 20, 30, 40]).unwrap();
+        assert_eq!(s.median_ns, 25.0);
+        assert_eq!(s.mean_ns, 25.0);
+        assert_eq!((s.min_ns, s.max_ns), (10, 40));
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let s = summarize(&[7, 7, 7]).unwrap();
+        assert_eq!(s.std_dev_ns, 0.0);
+        assert_eq!(s.median_ns, 7.0);
+        assert_eq!((s.min_ns, s.max_ns), (7, 7));
+    }
+
+    #[test]
+    fn median_resists_an_outlier_the_mean_does_not() {
+        let s = summarize(&[10, 10, 10, 10, 1_000_000]).unwrap();
+        assert_eq!(s.median_ns, 10.0);
+        assert!(s.mean_ns > 100_000.0);
+        assert!(s.std_dev_ns > 100_000.0);
+    }
+
+    #[test]
+    fn empty_samples_are_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn bencher_collects_one_value_per_sample() {
+        let mut b = Bencher {
+            samples: 6,
+            sample_ns: Vec::new(),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.sample_ns.len(), 6);
+        assert!(calls > 6, "warm-up + calibration + batched samples");
+    }
+
+    #[test]
+    fn slow_closures_keep_batch_size_one() {
+        let mut b = Bencher {
+            samples: 3,
+            sample_ns: Vec::new(),
+        };
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        // Warm-up + one calibration batch + one call per sample.
+        assert_eq!(calls, 5);
+        assert!(b.sample_ns.iter().all(|&ns| ns >= 50_000));
+    }
 }

@@ -1,13 +1,65 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::scope` is provided, implemented on top of
+//! `crossbeam::scope` is provided, implemented on top of
 //! `std::thread::scope` (stable since 1.63, which post-dates crossbeam's
 //! scoped threads). The crossbeam API differences that matter to callers are
 //! preserved: the spawn closure receives the scope as an argument, and
 //! `scope` returns a `Result` (always `Ok` here — std's scope propagates
 //! panics from unjoined threads by panicking instead).
+//!
+//! [`utils::CachePadded`] is also provided for the work-stealing batch
+//! scheduler, which keeps one atomic cursor per shard and must not let
+//! neighbouring cursors share a cache line.
 
 use std::any::Any;
+
+pub mod utils {
+    //! Subset of `crossbeam-utils` re-exported at the façade path.
+
+    /// Pads and aligns a value to (at least) the size of a cache line so
+    /// two `CachePadded` neighbours in an array never false-share.
+    ///
+    /// 128 bytes covers the common cases upstream special-cases per
+    /// architecture (x86-64 prefetches line pairs; Apple arm64 lines are
+    /// 128 bytes).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in the padded cell.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
 
 pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std::thread::Scope<'scope, 'env>,
@@ -33,6 +85,17 @@ where
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        use super::utils::CachePadded;
+        let mut cell = CachePadded::new(7u64);
+        assert_eq!(*cell, 7);
+        *cell += 1;
+        assert_eq!(cell.into_inner(), 8);
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        assert!(std::mem::size_of::<[CachePadded<u8>; 2]>() >= 256);
+    }
+
     #[test]
     fn scoped_threads_join_and_return() {
         let data = [1u64, 2, 3, 4];
