@@ -13,7 +13,7 @@
 //! bit-identical.
 
 use crate::runner::class_label;
-use mg_collection::batch::{expand_jobs, run_jobs, run_seed};
+use mg_collection::batch::{expand_jobs, run_jobs, run_seed, worker_count};
 use mg_collection::{generate, CollectionEntry, CollectionSpec};
 use mg_core::{sharded_volume, Method, ShardPolicy};
 use mg_partitioner::PartitionerConfig;
@@ -151,27 +151,16 @@ pub fn records_to_jsonl(records: &[BatchRecord]) -> String {
     out
 }
 
-pub(crate) fn worker_count(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    }
-}
-
 /// Runs the batched sweep: expands the cross product into jobs, schedules
 /// them over the work-stealing pool, and returns one record per cell in
 /// canonical job order (matrix generation order, then method, then ε).
 pub fn run_batch_sweep(config: &BatchSweepConfig) -> Vec<BatchRecord> {
     let entries = generate(&config.collection);
     let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
-    let labels: Vec<String> = config
-        .methods
-        .iter()
-        .map(|m| m.label().to_string())
-        .collect();
+    // Labels go through the canonical Method codec (Display = paper label,
+    // `Method::parse_name` inverts it), so record streams stay parseable by
+    // every other layer — see the round-trip test below.
+    let labels: Vec<String> = config.methods.iter().map(|m| m.to_string()).collect();
     let jobs = expand_jobs(&names, &labels, &config.epsilons, config.seed);
     run_jobs(&jobs, worker_count(config.threads), |job| {
         let entry = &entries[job.matrix_index];
@@ -300,6 +289,17 @@ mod tests {
         assert!(timed.starts_with(&line[..line.len() - 1]));
         assert!(timed.contains("\"time_avg_s\":1.000000"));
         assert!(timed.ends_with('}'));
+    }
+
+    #[test]
+    fn record_method_labels_round_trip_through_the_codec() {
+        let cfg = smoke_config();
+        let records = run_batch_sweep(&cfg);
+        for r in &records {
+            let parsed = Method::parse_name(&r.method)
+                .unwrap_or_else(|e| panic!("record label {:?} does not parse: {e}", r.method));
+            assert_eq!(parsed.to_string(), r.method);
+        }
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! the work-stealing pool and seeded from stable key hashes, so records
 //! are identical for every thread count.
 
-use crate::batch::{run_batch_sweep, worker_count, BatchSweepConfig};
+use crate::batch::{run_batch_sweep, BatchSweepConfig};
 use mg_collection::batch::{expand_jobs, run_jobs, run_seed};
+use mg_collection::worker_count;
 use mg_collection::{generate, CollectionSpec};
 use mg_core::{recursive_bisection, Method, ShardPolicy};
 use mg_partitioner::PartitionerConfig;

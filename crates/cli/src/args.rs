@@ -20,6 +20,17 @@ const VALUE_FLAGS: &[&str] = &[
     "--scale",
     "--threads",
     "--runs",
+    // serve / request (the service front end):
+    "--listen",
+    "--queue",
+    "--batch",
+    "--cache",
+    "--collection-scale",
+    "--collection-seed",
+    "--mtx",
+    "--collection",
+    "--id",
+    "--op",
 ];
 
 impl Parsed {
@@ -135,6 +146,25 @@ mod tests {
     fn last_occurrence_wins() {
         let p = Parsed::parse(&argv(&["-m", "lb", "-m", "fg"])).unwrap();
         assert_eq!(p.flag("-m", "mg"), "fg");
+    }
+
+    #[test]
+    fn serve_and_request_flags_take_values() {
+        let p = Parsed::parse(&argv(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--cache",
+            "64",
+            "--collection-scale",
+            "smoke",
+            "--op",
+            "ping",
+        ]))
+        .unwrap();
+        assert_eq!(p.flag("--listen", ""), "127.0.0.1:0");
+        assert_eq!(p.flag_parse("--cache", 128usize).unwrap(), 64);
+        assert_eq!(p.flag("--collection-scale", "default"), "smoke");
+        assert_eq!(p.flag("--op", "partition"), "ping");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! mgpart generate  <family> [size] [-o out.mtx] [--seed S]
 //! mgpart volume    <distributed.mtx>
 //! mgpart sweep     [--scale S] [--threads N] [--runs N] [-m LIST] [-e LIST] [-o out.jsonl]
+//! mgpart serve     [--listen ADDR] [--threads N] [--cache N] ...
+//! mgpart request   [ADDR] [--mtx FILE | --collection NAME] [-m METHOD] ...
 //! mgpart help
 //! ```
 
@@ -15,6 +17,8 @@ use mg_bench::{run_batch_sweep, BatchSweepConfig};
 use mg_collection::{CollectionScale, CollectionSpec};
 use mg_core::{recursive_bisection, Method};
 use mg_partitioner::PartitionerConfig;
+use mg_server::json::obj;
+use mg_server::{serve_stdio, Json, Service, ServiceConfig, TcpServer};
 use mg_sparse::{
     bsp_cost, communication_volume, dist_io, gen, io, load_imbalance, spy, spy_partitioned,
     CommunicationReport, Coo, Idx, PatternStats,
@@ -35,6 +39,8 @@ USAGE:
   mgpart generate  <family> [size]          write a synthetic matrix
   mgpart volume    <distributed.mtx>        metrics of a stored partition
   mgpart sweep     [options]                batched collection sweep (JSON lines)
+  mgpart serve     [options]                streaming partition service (JSON lines)
+  mgpart request   [ADDR] [options]         build / send one service request
   mgpart help
 
 PARTITION OPTIONS:
@@ -61,6 +67,34 @@ SWEEP OPTIONS:
 
   Results are bit-identical for any --threads value: each cell is seeded
   from a stable hash of its (matrix, method, eps) key, not sweep order.
+
+SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
+  --listen ADDR TCP listen address (e.g. 127.0.0.1:7077; port 0 = ephemeral);
+                omit for stdio pipe mode (requests on stdin, responses on stdout)
+  --threads N   worker threads of the batch pool, 0 = all cores  (default 0)
+  --batch N     micro-batch size handed to the pool  (default 32)
+  --queue N     bounded submission queue; full = backpressure  (default 256)
+  --cache N     LRU response-cache entries, 0 = off  (default 128)
+  --seed S      master seed for requests without one  (default 2014)
+  --engine E    mondriaan | patoh  (default mondriaan)
+  --collection-scale S   collection served to {\"collection\": name} requests
+                         (smoke | default | large, default smoke)
+  --collection-seed S    seed of that collection  (default 11)
+  --timing      append non-deterministic time_ms to computed responses
+
+REQUEST OPTIONS:
+  ADDR          server address; omit with --print to just emit the JSON line
+  --mtx FILE    matrix payload from a Matrix Market file
+  --collection NAME      ask for a named collection matrix instead
+  --inline      convert --mtx FILE to inline COO triplets (exercises the
+                third payload kind)
+  -m METHOD     method name  (default mg-ir)
+  -e EPS        load imbalance  (default 0.03)
+  --seed S      request seed (optional)
+  --id ID       correlation id echoed by the server
+  --op OP       partition | ping | stats | shutdown  (default partition)
+  --include-partition    ask for the full per-nonzero assignment
+  --print       print the request line instead of sending it
 
 GENERATE FAMILIES:
   laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
@@ -92,6 +126,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&Parsed::parse(&argv[1..])?),
         "volume" => volume(&Parsed::parse(&argv[1..])?),
         "sweep" => sweep(&Parsed::parse(&argv[1..])?),
+        "serve" => serve(&Parsed::parse(&argv[1..])?),
+        "request" => request(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -100,17 +136,12 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn method_from_name(name: &str) -> Result<Method, String> {
+fn scale_from_name(name: &str) -> Result<CollectionScale, String> {
     Ok(match name {
-        "mg" => Method::MediumGrain { refine: false },
-        "mg-ir" => Method::MediumGrain { refine: true },
-        "lb" => Method::LocalBest { refine: false },
-        "lb-ir" => Method::LocalBest { refine: true },
-        "fg" => Method::FineGrain { refine: false },
-        "fg-ir" => Method::FineGrain { refine: true },
-        "rn" => Method::RowNet { refine: false },
-        "cn" => Method::ColumnNet { refine: false },
-        other => return Err(format!("unknown method {other:?}")),
+        "smoke" => CollectionScale::Smoke,
+        "default" => CollectionScale::Default,
+        "large" => CollectionScale::Large,
+        other => return Err(format!("unknown scale {other:?} (smoke|default|large)")),
     })
 }
 
@@ -127,7 +158,7 @@ fn partition(parsed: &Parsed) -> Result<(), String> {
     let a = io::read_matrix_market_file(path).map_err(|e| e.to_string())?;
     let p: Idx = parsed.flag_parse("-p", 2)?;
     let epsilon: f64 = parsed.flag_parse("-e", 0.03)?;
-    let method = method_from_name(&parsed.flag("-m", "mg-ir"))?;
+    let method = Method::parse_name(&parsed.flag("-m", "mg-ir"))?;
     let engine = engine_from_name(&parsed.flag("--engine", "mondriaan"))?;
     let seed: u64 = parsed.flag_parse("--seed", 2014)?;
     if p < 1 {
@@ -231,12 +262,7 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn sweep(parsed: &Parsed) -> Result<(), String> {
-    let scale = match parsed.flag("--scale", "smoke").as_str() {
-        "smoke" => CollectionScale::Smoke,
-        "default" => CollectionScale::Default,
-        "large" => CollectionScale::Large,
-        other => return Err(format!("unknown scale {other:?} (smoke|default|large)")),
-    };
+    let scale = scale_from_name(&parsed.flag("--scale", "smoke"))?;
     let threads: usize = parsed.flag_parse("--threads", 0)?;
     let runs: u32 = parsed.flag_parse("--runs", 1)?;
     let seed: u64 = parsed.flag_parse("--seed", 2014)?;
@@ -245,7 +271,7 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
         None => Method::paper_set().to_vec(),
         Some(list) => list
             .split(',')
-            .map(method_from_name)
+            .map(Method::parse_name)
             .collect::<Result<_, _>>()?,
     };
     let epsilons: Vec<f64> = match parsed.flag_opt("-e") {
@@ -302,6 +328,139 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
         }
         None => print!("{out}"),
     }
+    Ok(())
+}
+
+fn serve(parsed: &Parsed) -> Result<(), String> {
+    let config = ServiceConfig {
+        threads: parsed.flag_parse("--threads", 0usize)?,
+        max_batch: parsed.flag_parse("--batch", 32usize)?,
+        queue_capacity: parsed.flag_parse("--queue", 256usize)?,
+        cache_capacity: parsed.flag_parse("--cache", 128usize)?,
+        master_seed: parsed.flag_parse("--seed", 2014u64)?,
+        engine: engine_from_name(&parsed.flag("--engine", "mondriaan"))?,
+        collection: CollectionSpec {
+            seed: parsed.flag_parse("--collection-seed", 11u64)?,
+            scale: scale_from_name(&parsed.flag("--collection-scale", "smoke"))?,
+        },
+        timing: parsed.has("--timing"),
+    };
+    let service = Service::start(config);
+    match parsed.flag_opt("--listen") {
+        Some(addr) => {
+            let server =
+                TcpServer::bind(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            eprintln!("mg-server listening on {}", server.local_addr);
+            // Blocks until a client sends the in-band shutdown op, then
+            // drains every in-flight job before returning.
+            server.join();
+            eprintln!("mg-server drained and stopped");
+        }
+        None => {
+            let summary = serve_stdio(&service);
+            service.shutdown_and_join();
+            eprintln!(
+                "session done: {} requests, {} responses, {} cache hits, {} errors",
+                summary.received, summary.responses, summary.cache_hits, summary.errors
+            );
+        }
+    }
+    Ok(())
+}
+
+fn request(parsed: &Parsed) -> Result<(), String> {
+    let op = parsed.flag("--op", "partition");
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    if let Some(raw) = parsed.flag_opt("--id") {
+        let id = match raw.parse::<u64>() {
+            Ok(n) => Json::UInt(n),
+            Err(_) => Json::Str(raw),
+        };
+        fields.push(("id", id));
+    }
+    match op.as_str() {
+        "partition" => {
+            let matrix = if let Some(name) = parsed.flag_opt("--collection") {
+                obj(vec![("collection", Json::Str(name))])
+            } else if let Some(path) = parsed.flag_opt("--mtx") {
+                if parsed.has("--inline") {
+                    let a = io::read_matrix_market_file(&path).map_err(|e| e.to_string())?;
+                    obj(vec![
+                        ("rows", Json::UInt(u64::from(a.rows()))),
+                        ("cols", Json::UInt(u64::from(a.cols()))),
+                        (
+                            "entries",
+                            Json::Arr(
+                                a.iter()
+                                    .map(|(i, j)| {
+                                        Json::Arr(vec![
+                                            Json::UInt(u64::from(i)),
+                                            Json::UInt(u64::from(j)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                } else {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    obj(vec![("mtx", Json::Str(text))])
+                }
+            } else {
+                return Err("partition requests need --mtx FILE or --collection NAME".into());
+            };
+            fields.push(("matrix", matrix));
+            let method = Method::parse_name(&parsed.flag("-m", "mg-ir"))?;
+            fields.push(("method", Json::Str(method.name().into())));
+            fields.push(("epsilon", Json::Num(parsed.flag_parse("-e", 0.03)?)));
+            if let Some(seed) = parsed.flag_opt("--seed") {
+                let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+                fields.push(("seed", Json::UInt(seed)));
+            }
+            if parsed.has("--include-partition") {
+                fields.push(("include_partition", Json::Bool(true)));
+            }
+        }
+        "ping" | "stats" | "shutdown" => fields.push(("op", Json::Str(op.clone()))),
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (partition|ping|stats|shutdown)"
+            ))
+        }
+    }
+    let line = obj(fields).to_string();
+    if parsed.has("--print") {
+        println!("{line}");
+        return Ok(());
+    }
+
+    let addr = parsed.positional(0, "server address (or use --print)")?;
+    let mut stream = std::net::TcpStream::connect(addr.as_str())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    {
+        use std::io::Write as _;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("sending request: {e}"))?;
+    }
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream: {e}"))?,
+    );
+    let mut response = String::new();
+    {
+        use std::io::BufRead as _;
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("reading response: {e}"))?;
+    }
+    if response.is_empty() {
+        return Err("server closed the connection without a response".into());
+    }
+    print!("{response}");
     Ok(())
 }
 

@@ -18,7 +18,9 @@
 //! * [`methods`] — a single [`Method`] enum tying all of the above into one
 //!   API (what the experiment harness sweeps over);
 //! * [`recursive`] — recursive bisection to `p` parts with a per-level
-//!   imbalance budget (Table II's p = 64 experiments).
+//!   imbalance budget (Table II's p = 64 experiments);
+//! * [`service`] — transport-agnostic request/response types of the
+//!   streaming partition service (`mgpart serve`, crate `mg-server`).
 
 pub mod baselines;
 pub mod bmatrix;
@@ -29,6 +31,7 @@ pub mod methods;
 pub mod parallel;
 pub mod recursive;
 pub mod refine;
+pub mod service;
 pub mod split;
 
 pub use bmatrix::MediumGrainModel;
@@ -42,6 +45,9 @@ pub use parallel::{
 };
 pub use recursive::{recursive_bisection, MultiwayResult};
 pub use refine::{iterative_refinement, RefineOptions};
+pub use service::{
+    matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, PartitionSpec, RequestOp,
+};
 pub use split::{initial_split, split_with_strategy, GlobalPreference, Split, SplitStrategy};
 
 pub use mg_sparse::Idx;

@@ -66,6 +66,24 @@ pub enum Method {
 }
 
 impl Method {
+    /// Every refine×model configuration, in label order: RN, RN+IR, CN,
+    /// CN+IR, LB, LB+IR, FG, FG+IR, MG, MG+IR. This is the exhaustive
+    /// domain of the name codec ([`Method::name`] / [`Method::parse_name`]).
+    pub fn all() -> [Method; 10] {
+        [
+            Method::RowNet { refine: false },
+            Method::RowNet { refine: true },
+            Method::ColumnNet { refine: false },
+            Method::ColumnNet { refine: true },
+            Method::LocalBest { refine: false },
+            Method::LocalBest { refine: true },
+            Method::FineGrain { refine: false },
+            Method::FineGrain { refine: true },
+            Method::MediumGrain { refine: false },
+            Method::MediumGrain { refine: true },
+        ]
+    }
+
     /// The six configurations of Fig 4/5/6 and Tables I/II, in the paper's
     /// column order: LB, LB+IR, MG, MG+IR, FG, FG+IR.
     pub fn paper_set() -> [Method; 6] {
@@ -93,6 +111,50 @@ impl Method {
             Method::MediumGrain { refine: false } => "MG",
             Method::MediumGrain { refine: true } => "MG+IR",
         }
+    }
+
+    /// The canonical lowercase name of this configuration, as accepted by
+    /// CLI `-m` lists and the service protocol: `rn`, `rn-ir`, `cn`,
+    /// `cn-ir`, `lb`, `lb-ir`, `fg`, `fg-ir`, `mg`, `mg-ir`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::RowNet { refine: false } => "rn",
+            Method::RowNet { refine: true } => "rn-ir",
+            Method::ColumnNet { refine: false } => "cn",
+            Method::ColumnNet { refine: true } => "cn-ir",
+            Method::LocalBest { refine: false } => "lb",
+            Method::LocalBest { refine: true } => "lb-ir",
+            Method::FineGrain { refine: false } => "fg",
+            Method::FineGrain { refine: true } => "fg-ir",
+            Method::MediumGrain { refine: false } => "mg",
+            Method::MediumGrain { refine: true } => "mg-ir",
+        }
+    }
+
+    /// Parses a method from either the canonical lowercase name
+    /// ([`Method::name`], e.g. `mg-ir`) or the paper abbreviation
+    /// ([`Method::label`], e.g. `MG+IR`), case-insensitively. The single
+    /// codec every layer (CLI args, sweep records, service protocol) goes
+    /// through, so the spellings can never drift apart.
+    pub fn parse_name(raw: &str) -> Result<Method, String> {
+        let normalized: String = raw
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '+' | '_' => '-',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        Method::all()
+            .into_iter()
+            .find(|m| m.name() == normalized)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Method::all().iter().map(|m| m.name()).collect();
+                format!(
+                    "unknown method {raw:?} (expected one of {})",
+                    names.join(", ")
+                )
+            })
     }
 
     /// Whether iterative refinement is enabled.
@@ -185,6 +247,42 @@ mod tests {
     fn paper_set_labels() {
         let labels: Vec<&str> = Method::paper_set().iter().map(|m| m.label()).collect();
         assert_eq!(labels, vec!["LB", "LB+IR", "MG", "MG+IR", "FG", "FG+IR"]);
+    }
+
+    #[test]
+    fn name_codec_round_trips_all_ten_configurations() {
+        let all = Method::all();
+        assert_eq!(all.len(), 10);
+        let mut seen = std::collections::HashSet::new();
+        for method in all {
+            // name → method.
+            assert_eq!(Method::parse_name(method.name()).unwrap(), method);
+            // Display (= paper label) → method.
+            assert_eq!(Method::parse_name(&method.to_string()).unwrap(), method);
+            assert_eq!(Method::parse_name(method.label()).unwrap(), method);
+            // Case- and separator-insensitive.
+            assert_eq!(
+                Method::parse_name(&method.name().to_ascii_uppercase()).unwrap(),
+                method
+            );
+            assert_eq!(
+                Method::parse_name(&method.name().replace('-', "_")).unwrap(),
+                method
+            );
+            assert!(seen.insert(method.name()), "duplicate name");
+            assert!(seen.insert(method.label()), "name/label collision");
+        }
+    }
+
+    #[test]
+    fn parse_name_rejects_unknown_spellings() {
+        for bad in ["", "medium", "mg+", "mgir", "mg ir", "ir-mg"] {
+            let err = Method::parse_name(bad).unwrap_err();
+            assert!(
+                err.contains("mg-ir"),
+                "error should list valid names: {err}"
+            );
+        }
     }
 
     #[test]

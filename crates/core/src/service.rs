@@ -1,0 +1,200 @@
+//! Transport-agnostic request/response types of the partition service.
+//!
+//! The serving front end (`mg-server`) accepts JSON-lines requests and
+//! streams JSON-lines responses; this module holds the *plain data* halves
+//! of that protocol so they can be built, executed and tested without any
+//! wire format or socket in sight. The wire codec lives next to the
+//! transports in `mg-server`; the method spelling goes through the single
+//! [`Method`] name codec so the CLI, the sweep records and the service can
+//! never drift apart.
+
+use crate::methods::Method;
+use mg_sparse::{Coo, Idx};
+
+/// Where a request's matrix comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixPayload {
+    /// Inline COO triplets (0-based coordinates).
+    Inline {
+        /// Number of rows.
+        rows: Idx,
+        /// Number of columns.
+        cols: Idx,
+        /// `(row, col)` coordinates; arbitrary order, duplicates collapse.
+        entries: Vec<(Idx, Idx)>,
+    },
+    /// A named matrix of the server's deterministic evaluation collection.
+    Collection(String),
+    /// A full Matrix Market document shipped as a string payload.
+    MatrixMarket(String),
+}
+
+/// What a request asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Bipartition a matrix (the default when no `op` field is present).
+    Partition,
+    /// Liveness probe; answered immediately in stream order.
+    Ping,
+    /// Session counters (received / cache hits / errors so far).
+    Stats,
+    /// Stop accepting new work, drain in-flight jobs, then exit.
+    Shutdown,
+}
+
+/// One partition request, decoded but not yet executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Matrix source.
+    pub matrix: MatrixPayload,
+    /// Bipartitioning method.
+    pub method: Method,
+    /// Load-imbalance parameter ε of eqn (1).
+    pub epsilon: f64,
+    /// Optional client seed folded into the job-key hash; `None` uses the
+    /// server's master seed.
+    pub seed: Option<u64>,
+    /// Include the full per-nonzero part vector in the response.
+    pub include_partition: bool,
+}
+
+/// The deterministic result of executing one [`PartitionSpec`].
+///
+/// Everything here is a pure function of (matrix content, method, ε,
+/// effective seed) — no wall-clock fields — so a response built from an
+/// outcome is byte-identical however and whenever the job ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Number of rows of the partitioned matrix.
+    pub rows: Idx,
+    /// Number of columns.
+    pub cols: Idx,
+    /// Number of (deduplicated) nonzeros.
+    pub nnz: usize,
+    /// Content fingerprint of the matrix ([`matrix_fingerprint`]).
+    pub fingerprint: u64,
+    /// Canonical method name (`mg-ir`, …).
+    pub method: &'static str,
+    /// Load-imbalance parameter the job ran with.
+    pub epsilon: f64,
+    /// The effective RNG seed (derived via the job-key hash).
+    pub seed: u64,
+    /// Communication volume of the result (eqn (3)).
+    pub volume: u64,
+    /// Achieved load imbalance (eqn (1) left-hand side).
+    pub imbalance: f64,
+    /// Iterations of Algorithm 2 performed (0 without IR).
+    pub ir_iterations: u32,
+    /// Nonzeros assigned to parts 0 and 1.
+    pub part_nnz: [u64; 2],
+    /// Part id per nonzero, aligned with the canonical (row-major sorted,
+    /// deduplicated) entry order of the matrix.
+    pub partition: Vec<Idx>,
+}
+
+/// Machine-readable error classes of the service protocol.
+///
+/// The wire spelling ([`ErrorCode::as_str`]) is part of the public
+/// protocol; see `crates/server/PROTOCOL.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line is not valid JSON.
+    BadJson,
+    /// The request is valid JSON but structurally wrong (missing or
+    /// ill-typed fields).
+    BadRequest,
+    /// The `method` field is not a known method name.
+    BadMethod,
+    /// The matrix payload does not decode (bad COO bounds, malformed
+    /// Matrix Market text, …).
+    BadMatrix,
+    /// The named collection matrix does not exist.
+    UnknownCollection,
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+    /// A syntactically valid `op` the server does not support.
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The wire spelling of this error class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::BadMethod => "bad_method",
+            ErrorCode::BadMatrix => "bad_matrix",
+            ErrorCode::UnknownCollection => "unknown_collection",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A stable 64-bit content fingerprint of a matrix: FNV-1a over the
+/// dimensions and the canonical entry list, finalised with SplitMix64.
+///
+/// Two matrices fingerprint equal iff they have the same shape and nonzero
+/// pattern, whatever source they were decoded from — so an inline-COO
+/// request and a Matrix Market request for the same matrix share cache
+/// entries and derived seeds.
+pub fn matrix_fingerprint(a: &Coo) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(u64::from(a.rows()));
+    eat(u64::from(a.cols()));
+    eat(a.nnz() as u64);
+    for (i, j) in a.iter() {
+        eat((u64::from(i) << 32) | u64::from(j));
+    }
+    // SplitMix64 finaliser.
+    let mut x = h;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        // Same pattern via different constructions → same fingerprint.
+        let a = Coo::new(3, 4, vec![(0, 1), (2, 3), (1, 1)]).unwrap();
+        let b = Coo::new(3, 4, vec![(1, 1), (0, 1), (2, 3), (2, 3)]).unwrap();
+        assert_eq!(matrix_fingerprint(&a), matrix_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_separates_shape_and_pattern() {
+        let a = Coo::new(3, 4, vec![(0, 1)]).unwrap();
+        let taller = Coo::new(4, 4, vec![(0, 1)]).unwrap();
+        let moved = Coo::new(3, 4, vec![(0, 2)]).unwrap();
+        let empty = Coo::empty(3, 4);
+        let fps = [&a, &taller, &moved, &empty].map(matrix_fingerprint);
+        for x in 0..fps.len() {
+            for y in x + 1..fps.len() {
+                assert_ne!(fps[x], fps[y], "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_codes_have_stable_wire_spellings() {
+        assert_eq!(ErrorCode::BadJson.as_str(), "bad_json");
+        assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting_down");
+    }
+}

@@ -1,0 +1,519 @@
+//! The JSON-lines wire codec: request decoding and response encoding.
+//!
+//! One request per line, one response per line, streamed back in
+//! submission order. The full schema (fields, defaults, error codes) is
+//! specified in `crates/server/PROTOCOL.md`; this module is its only
+//! implementation. Method names go through the canonical
+//! [`Method::parse_name`] codec, matrix payloads through the same
+//! [`Coo`] constructors and Matrix Market reader as the rest of the
+//! workspace — so a malformed payload surfaces the library's typed errors
+//! verbatim in the `message` field.
+
+use crate::json::{obj, Json};
+use mg_core::service::{ErrorCode, MatrixPayload, PartitionOutcome, PartitionSpec, RequestOp};
+use mg_core::Method;
+use mg_sparse::Idx;
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed verbatim (`null` when absent).
+    pub id: Json,
+    /// What the line asks for.
+    pub op: RequestOp,
+    /// The partition job; present iff `op == Partition`.
+    pub spec: Option<PartitionSpec>,
+}
+
+/// A request that failed to decode: the (best-effort) id to echo plus the
+/// error class and message for the response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Echoed id (`null` when the line was not even valid JSON).
+    pub id: Json,
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: &Json, code: ErrorCode, message: impl Into<String>) -> Self {
+        RequestError {
+            id: id.clone(),
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Default ε when a partition request has no `epsilon` field (the paper's
+/// evaluation setting).
+pub const DEFAULT_EPSILON: f64 = 0.03;
+
+/// Default method when a partition request has no `method` field —
+/// medium-grain with iterative refinement, Mondriaan 4.0's default.
+pub const DEFAULT_METHOD: &str = "mg-ir";
+
+/// Decodes one request line.
+pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
+    let doc = Json::parse(line)
+        .map_err(|e| RequestError::new(&Json::Null, ErrorCode::BadJson, e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(RequestError::new(
+            &Json::Null,
+            ErrorCode::BadRequest,
+            "request must be a JSON object",
+        ));
+    }
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+
+    let op = match doc.get("op") {
+        None => RequestOp::Partition,
+        Some(Json::Str(s)) => match s.as_str() {
+            "partition" => RequestOp::Partition,
+            "ping" => RequestOp::Ping,
+            "stats" => RequestOp::Stats,
+            "shutdown" => RequestOp::Shutdown,
+            other => {
+                return Err(RequestError::new(
+                    &id,
+                    ErrorCode::Unsupported,
+                    format!("unsupported op {other:?}"),
+                ))
+            }
+        },
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"op\" must be a string",
+            ))
+        }
+    };
+    if op != RequestOp::Partition {
+        return Ok(Request { id, op, spec: None });
+    }
+
+    let method_name = match doc.get("method") {
+        None => DEFAULT_METHOD.to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"method\" must be a string",
+            ))
+        }
+    };
+    let method = Method::parse_name(&method_name)
+        .map_err(|e| RequestError::new(&id, ErrorCode::BadMethod, e))?;
+
+    let epsilon = match doc.get("epsilon") {
+        None => DEFAULT_EPSILON,
+        Some(v) => match v.as_f64() {
+            Some(x) if x.is_finite() && x >= 0.0 => x,
+            _ => {
+                return Err(RequestError::new(
+                    &id,
+                    ErrorCode::BadRequest,
+                    "\"epsilon\" must be a finite non-negative number",
+                ))
+            }
+        },
+    };
+
+    let seed = match doc.get("seed") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(s) => Some(s),
+            None => {
+                return Err(RequestError::new(
+                    &id,
+                    ErrorCode::BadRequest,
+                    "\"seed\" must be a non-negative integer",
+                ))
+            }
+        },
+    };
+
+    let include_partition = match doc.get("include_partition") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => {
+                return Err(RequestError::new(
+                    &id,
+                    ErrorCode::BadRequest,
+                    "\"include_partition\" must be a boolean",
+                ))
+            }
+        },
+    };
+
+    let matrix = decode_matrix(&id, doc.get("matrix"))?;
+
+    Ok(Request {
+        id,
+        op,
+        spec: Some(PartitionSpec {
+            matrix,
+            method,
+            epsilon,
+            seed,
+            include_partition,
+        }),
+    })
+}
+
+fn decode_matrix(id: &Json, field: Option<&Json>) -> Result<MatrixPayload, RequestError> {
+    let Some(m) = field else {
+        return Err(RequestError::new(
+            id,
+            ErrorCode::BadRequest,
+            "partition requests need a \"matrix\" field",
+        ));
+    };
+    if !matches!(m, Json::Obj(_)) {
+        return Err(RequestError::new(
+            id,
+            ErrorCode::BadRequest,
+            "\"matrix\" must be an object",
+        ));
+    }
+    let sources = [
+        m.get("entries").is_some() || m.get("rows").is_some() || m.get("cols").is_some(),
+        m.get("collection").is_some(),
+        m.get("mtx").is_some(),
+    ];
+    match sources {
+        [true, false, false] => {
+            let rows = dim(id, m, "rows")?;
+            let cols = dim(id, m, "cols")?;
+            let raw = m.get("entries").and_then(Json::as_array).ok_or_else(|| {
+                RequestError::new(
+                    id,
+                    ErrorCode::BadRequest,
+                    "inline matrices need an \"entries\" array",
+                )
+            })?;
+            let mut entries = Vec::with_capacity(raw.len());
+            for (k, pair) in raw.iter().enumerate() {
+                let coords = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    RequestError::new(
+                        id,
+                        ErrorCode::BadMatrix,
+                        format!("entry {k} must be a [row, col] pair"),
+                    )
+                })?;
+                let coord = |axis: usize, name: &str| -> Result<Idx, RequestError> {
+                    coords[axis]
+                        .as_u64()
+                        .filter(|&v| v < u64::from(Idx::MAX))
+                        .map(|v| v as Idx)
+                        .ok_or_else(|| {
+                            RequestError::new(
+                                id,
+                                ErrorCode::BadMatrix,
+                                format!("entry {k}: {name} must be a 0-based u32 index"),
+                            )
+                        })
+                };
+                entries.push((coord(0, "row")?, coord(1, "col")?));
+            }
+            Ok(MatrixPayload::Inline {
+                rows,
+                cols,
+                entries,
+            })
+        }
+        [false, true, false] => {
+            let name = m.get("collection").and_then(Json::as_str).ok_or_else(|| {
+                RequestError::new(id, ErrorCode::BadRequest, "\"collection\" must be a string")
+            })?;
+            Ok(MatrixPayload::Collection(name.to_string()))
+        }
+        [false, false, true] => {
+            let text = m.get("mtx").and_then(Json::as_str).ok_or_else(|| {
+                RequestError::new(id, ErrorCode::BadRequest, "\"mtx\" must be a string")
+            })?;
+            Ok(MatrixPayload::MatrixMarket(text.to_string()))
+        }
+        _ => Err(RequestError::new(
+            id,
+            ErrorCode::BadRequest,
+            "\"matrix\" must be exactly one of inline {rows, cols, entries}, \
+             {collection}, or {mtx}",
+        )),
+    }
+}
+
+fn dim(id: &Json, m: &Json, name: &str) -> Result<Idx, RequestError> {
+    m.get(name)
+        .and_then(Json::as_u64)
+        .filter(|&v| v < u64::from(Idx::MAX))
+        .map(|v| v as Idx)
+        .ok_or_else(|| {
+            RequestError::new(
+                id,
+                ErrorCode::BadRequest,
+                format!("inline matrices need a u32 \"{name}\" field"),
+            )
+        })
+}
+
+/// Encodes the success response for an executed (or cache-served) job.
+///
+/// Every field is a pure function of (matrix content, method, ε, seed) —
+/// plus the submission-order-deterministic `cached` flag — so the line is
+/// byte-identical whatever thread count or scheduling produced it.
+/// `time_ms` is the only exception and is emitted solely when the server
+/// runs with timing enabled (a non-deterministic, human-facing mode).
+pub fn ok_response(
+    id: &Json,
+    outcome: &PartitionOutcome,
+    cached: bool,
+    include_partition: bool,
+    time_ms: Option<f64>,
+) -> String {
+    let mut fields = vec![
+        ("id", id.clone()),
+        ("status", Json::Str("ok".into())),
+        (
+            "matrix",
+            obj(vec![
+                ("rows", Json::UInt(u64::from(outcome.rows))),
+                ("cols", Json::UInt(u64::from(outcome.cols))),
+                ("nnz", Json::UInt(outcome.nnz as u64)),
+                (
+                    "fingerprint",
+                    Json::Str(format!("{:016x}", outcome.fingerprint)),
+                ),
+            ]),
+        ),
+        ("method", Json::Str(outcome.method.into())),
+        ("epsilon", Json::Num(outcome.epsilon)),
+        ("seed", Json::UInt(outcome.seed)),
+        ("volume", Json::UInt(outcome.volume)),
+        ("imbalance", Json::Num(outcome.imbalance)),
+        (
+            "ir_iterations",
+            Json::UInt(u64::from(outcome.ir_iterations)),
+        ),
+        (
+            "part_nnz",
+            Json::Arr(vec![
+                Json::UInt(outcome.part_nnz[0]),
+                Json::UInt(outcome.part_nnz[1]),
+            ]),
+        ),
+        ("cached", Json::Bool(cached)),
+    ];
+    if include_partition {
+        fields.push((
+            "partition",
+            Json::Arr(
+                outcome
+                    .partition
+                    .iter()
+                    .map(|&p| Json::UInt(u64::from(p)))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(ms) = time_ms {
+        fields.push(("time_ms", Json::Num(ms)));
+    }
+    obj(fields).to_string()
+}
+
+/// Encodes an error response line.
+pub fn error_response(id: &Json, code: ErrorCode, message: &str) -> String {
+    obj(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("error".into())),
+        ("code", Json::Str(code.as_str().into())),
+        ("message", Json::Str(message.into())),
+    ])
+    .to_string()
+}
+
+/// Encodes the response to a `ping` / `shutdown` op.
+pub fn op_response(id: &Json, op: &str) -> String {
+    obj(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("ok".into())),
+        ("op", Json::Str(op.into())),
+    ])
+    .to_string()
+}
+
+/// Encodes the response to a `stats` op. The counters reflect the session
+/// stream strictly *up to and including* this request, so the line is a
+/// pure function of the request prefix — deterministic like every other
+/// response.
+pub fn stats_response(id: &Json, received: u64, cache_hits: u64, errors: u64) -> String {
+    obj(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("ok".into())),
+        ("op", Json::Str("stats".into())),
+        ("received", Json::UInt(received)),
+        ("cache_hits", Json::UInt(cache_hits)),
+        ("errors", Json::UInt(errors)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_minimal_inline_request() {
+        let r =
+            parse_request_line(r#"{"id":1,"matrix":{"rows":2,"cols":2,"entries":[[0,0],[1,1]]}}"#)
+                .unwrap();
+        assert_eq!(r.id, Json::UInt(1));
+        assert_eq!(r.op, RequestOp::Partition);
+        let spec = r.spec.unwrap();
+        assert_eq!(spec.method, Method::MediumGrain { refine: true });
+        assert_eq!(spec.epsilon, DEFAULT_EPSILON);
+        assert_eq!(spec.seed, None);
+        assert!(!spec.include_partition);
+        assert_eq!(
+            spec.matrix,
+            MatrixPayload::Inline {
+                rows: 2,
+                cols: 2,
+                entries: vec![(0, 0), (1, 1)]
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_collection_and_mtx_payloads() {
+        let r = parse_request_line(
+            r#"{"matrix":{"collection":"laplace2d_00_k10"},"method":"lb","epsilon":0.1,"seed":7}"#,
+        )
+        .unwrap();
+        let spec = r.spec.unwrap();
+        assert_eq!(
+            spec.matrix,
+            MatrixPayload::Collection("laplace2d_00_k10".into())
+        );
+        assert_eq!(spec.method, Method::LocalBest { refine: false });
+        assert_eq!(spec.epsilon, 0.1);
+        assert_eq!(spec.seed, Some(7));
+
+        let r = parse_request_line(r#"{"matrix":{"mtx":"%%MatrixMarket ..."}}"#).unwrap();
+        assert!(matches!(
+            r.spec.unwrap().matrix,
+            MatrixPayload::MatrixMarket(_)
+        ));
+    }
+
+    #[test]
+    fn decodes_ops_without_matrices() {
+        for (op, expected) in [
+            ("ping", RequestOp::Ping),
+            ("stats", RequestOp::Stats),
+            ("shutdown", RequestOp::Shutdown),
+        ] {
+            let r = parse_request_line(&format!(r#"{{"id":"x","op":"{op}"}}"#)).unwrap();
+            assert_eq!(r.op, expected);
+            assert!(r.spec.is_none());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_the_right_code() {
+        let cases: Vec<(&str, ErrorCode)> = vec![
+            ("not json", ErrorCode::BadJson),
+            ("[1,2]", ErrorCode::BadRequest),
+            (r#"{"op":"dance"}"#, ErrorCode::Unsupported),
+            (r#"{"op":7}"#, ErrorCode::BadRequest),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"method":"zz"}"#,
+                ErrorCode::BadMethod,
+            ),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"epsilon":-1}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"seed":-3}"#,
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"method":"mg"}"#, ErrorCode::BadRequest),
+            (r#"{"matrix":{}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"matrix":{"collection":"a","mtx":"b"}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0]]}}"#,
+                ErrorCode::BadMatrix,
+            ),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,"x"]]}}"#,
+                ErrorCode::BadMatrix,
+            ),
+        ];
+        for (line, code) in cases {
+            let err = parse_request_line(line).unwrap_err();
+            assert_eq!(err.code, code, "line {line:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn request_ids_are_echoed_even_on_errors() {
+        let err = parse_request_line(r#"{"id":"req-9","op":"dance"}"#).unwrap_err();
+        assert_eq!(err.id, Json::Str("req-9".into()));
+        let line = error_response(&err.id, err.code, &err.message);
+        assert!(line.starts_with(r#"{"id":"req-9","status":"error","code":"unsupported""#));
+    }
+
+    #[test]
+    fn ok_response_shape_is_stable() {
+        let outcome = PartitionOutcome {
+            rows: 2,
+            cols: 3,
+            nnz: 4,
+            fingerprint: 0xAB,
+            method: "mg-ir",
+            epsilon: 0.03,
+            seed: 99,
+            volume: 1,
+            imbalance: 0.0,
+            ir_iterations: 2,
+            part_nnz: [2, 2],
+            partition: vec![0, 1, 1, 0],
+        };
+        let line = ok_response(&Json::UInt(5), &outcome, false, false, None);
+        assert_eq!(
+            line,
+            "{\"id\":5,\"status\":\"ok\",\
+             \"matrix\":{\"rows\":2,\"cols\":3,\"nnz\":4,\"fingerprint\":\"00000000000000ab\"},\
+             \"method\":\"mg-ir\",\"epsilon\":0.03,\"seed\":99,\"volume\":1,\"imbalance\":0,\
+             \"ir_iterations\":2,\"part_nnz\":[2,2],\"cached\":false}"
+        );
+        let with_partition = ok_response(&Json::Null, &outcome, true, true, None);
+        assert!(with_partition.contains("\"partition\":[0,1,1,0]"));
+        assert!(with_partition.contains("\"cached\":true"));
+        assert!(!line.contains("time_ms"));
+        let timed = ok_response(&Json::Null, &outcome, false, false, Some(1.5));
+        assert!(timed.contains("\"time_ms\":1.5"));
+    }
+
+    #[test]
+    fn stats_and_op_responses_are_deterministic() {
+        assert_eq!(
+            stats_response(&Json::UInt(3), 3, 1, 0),
+            r#"{"id":3,"status":"ok","op":"stats","received":3,"cache_hits":1,"errors":0}"#
+        );
+        assert_eq!(
+            op_response(&Json::Null, "ping"),
+            r#"{"id":null,"status":"ok","op":"ping"}"#
+        );
+    }
+}

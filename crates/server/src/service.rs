@@ -1,0 +1,684 @@
+//! The serving engine: a bounded submission queue feeding the
+//! work-stealing batch pool, per-session ordered response streams, and a
+//! shared LRU response cache.
+//!
+//! ## Execution model
+//!
+//! Sessions (one per stdio pipe or TCP connection) decode request lines
+//! and submit jobs to the shared [`Engine`]. A dispatcher thread drains
+//! the queue in *micro-batches* and runs each batch on the existing
+//! [`mg_collection::run_batch_ordered`] work-stealing pool — jobs execute
+//! out of order across workers, but results are delivered in order and
+//! each session's writer emits responses in its own submission order.
+//!
+//! ## Determinism
+//!
+//! Every job's RNG stream is seeded with [`mg_collection::job_seed`] over
+//! the (matrix fingerprint, method, ε) key folded with the request seed —
+//! never from scheduling state — so a response's payload is a pure
+//! function of the request. The `cached` flag is decided at *submission
+//! time* in stream order (completed key → cache hit; in-flight key →
+//! follower of the running job; fresh key → new job), which makes a
+//! single session's response bytes identical at any `--threads` count,
+//! provided the session's distinct-job working set fits the cache
+//! capacity (see `PROTOCOL.md` for the exact contract).
+//!
+//! ## Backpressure and shutdown
+//!
+//! The submission queue is bounded: submitters block when it is full,
+//! which in turn blocks the session's reader — TCP clients experience
+//! socket backpressure instead of unbounded server memory. Shutdown (the
+//! `shutdown` op or [`Service::initiate_shutdown`]) stops new
+//! submissions, drains every queued and in-flight job, flushes every
+//! pending response, then lets the dispatcher exit.
+
+use crate::cache::LruCache;
+use crate::json::Json;
+use crate::protocol;
+use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
+use mg_core::service::{matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, RequestOp};
+use mg_core::Method;
+use mg_partitioner::PartitionerConfig;
+use mg_sparse::{io, load_imbalance, Coo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the batch pool; 0 = one per available core.
+    pub threads: usize,
+    /// Largest micro-batch the dispatcher hands to the pool at once.
+    pub max_batch: usize,
+    /// Bounded submission-queue capacity; full ⇒ submitters block
+    /// (backpressure all the way to the client socket).
+    pub queue_capacity: usize,
+    /// LRU response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Master seed folded into every job-key hash when a request carries
+    /// no seed of its own.
+    pub master_seed: u64,
+    /// Partitioner engine preset used for every job.
+    pub engine: PartitionerConfig,
+    /// The deterministic collection served for `{"collection": name}`
+    /// payloads (generated lazily on first use).
+    pub collection: CollectionSpec,
+    /// Append a non-deterministic `time_ms` field to computed responses.
+    pub timing: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 0,
+            max_batch: 32,
+            queue_capacity: 256,
+            cache_capacity: 128,
+            master_seed: 2014,
+            engine: PartitionerConfig::mondriaan_like(),
+            collection: CollectionSpec::default(),
+            timing: false,
+        }
+    }
+}
+
+/// (matrix fingerprint, method, ε bits, request seed base,
+/// include_partition) — the identity of a job for caching and in-flight
+/// coalescing.
+///
+/// `include_partition` is part of the key so that plain requests and
+/// full-assignment requests never coalesce: cache entries for plain keys
+/// are stored *stripped* of the O(nnz) partition vector (it would pin
+/// large matrices in memory for clients that never asked for it), and
+/// keeping the two shapes apart keeps the `cached` flag a pure function
+/// of the submission stream. The RNG seed ignores the flag
+/// ([`seed_of`]), so both shapes report identical volumes and seeds.
+type CacheKey = (u64, Method, u64, u64, bool);
+
+/// Completion callback: `(outcome, cached, compute_seconds)`.
+type Deliver = Box<dyn FnOnce(Arc<PartitionOutcome>, bool, f64) + Send>;
+
+struct EngineJob {
+    key: CacheKey,
+    matrix: Arc<Coo>,
+    deliver: Deliver,
+}
+
+/// Name → matrix map of the lazily generated collection.
+type CollectionMap = HashMap<String, Arc<Coo>>;
+
+struct EngineInner {
+    queue: VecDeque<EngineJob>,
+    /// Keys currently queued or executing, with follower callbacks to run
+    /// (as cache hits) when the primary completes.
+    inflight: HashMap<CacheKey, Vec<Deliver>>,
+    cache: LruCache<CacheKey, Arc<PartitionOutcome>>,
+    shutdown: bool,
+}
+
+struct Engine {
+    inner: Mutex<EngineInner>,
+    /// Signals the dispatcher that work (or shutdown) is available.
+    work: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    space: Condvar,
+    /// Lazily generated collection, name → matrix.
+    collection: Mutex<Option<Arc<CollectionMap>>>,
+    config: ServiceConfig,
+}
+
+enum SubmitOutcome {
+    CacheHit,
+    Follower,
+    Queued,
+    Rejected,
+}
+
+impl Engine {
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineInner> {
+        self.inner.lock().expect("engine mutex poisoned")
+    }
+
+    fn submit(&self, key: CacheKey, matrix: Arc<Coo>, deliver: Deliver) -> SubmitOutcome {
+        let mut inner = self.lock();
+        loop {
+            if inner.shutdown {
+                return SubmitOutcome::Rejected;
+            }
+            if let Some(hit) = inner.cache.get(&key) {
+                let outcome = hit.clone();
+                drop(inner);
+                deliver(outcome, true, 0.0);
+                return SubmitOutcome::CacheHit;
+            }
+            if let Some(followers) = inner.inflight.get_mut(&key) {
+                followers.push(deliver);
+                return SubmitOutcome::Follower;
+            }
+            if inner.queue.len() >= self.config.queue_capacity.max(1) {
+                inner = self.space.wait(inner).expect("engine mutex poisoned");
+                continue;
+            }
+            inner.inflight.insert(key, Vec::new());
+            inner.queue.push_back(EngineJob {
+                key,
+                matrix,
+                deliver,
+            });
+            self.work.notify_all();
+            return SubmitOutcome::Queued;
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    fn collection_matrix(&self, name: &str) -> Option<Arc<Coo>> {
+        let mut slot = self.collection.lock().expect("collection mutex poisoned");
+        if slot.is_none() {
+            let map: HashMap<String, Arc<Coo>> = generate(&self.config.collection)
+                .into_iter()
+                .map(|entry| (entry.name, Arc::new(entry.matrix)))
+                .collect();
+            *slot = Some(Arc::new(map));
+        }
+        slot.as_ref().expect("just filled").get(name).cloned()
+    }
+
+    fn resolve_matrix(&self, payload: &MatrixPayload) -> Result<Arc<Coo>, (ErrorCode, String)> {
+        match payload {
+            MatrixPayload::Inline {
+                rows,
+                cols,
+                entries,
+            } => Coo::new(*rows, *cols, entries.clone())
+                .map(Arc::new)
+                .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
+            MatrixPayload::Collection(name) => self.collection_matrix(name).ok_or_else(|| {
+                (
+                    ErrorCode::UnknownCollection,
+                    format!("no collection matrix named {name:?}"),
+                )
+            }),
+            MatrixPayload::MatrixMarket(text) => io::read_matrix_market(text.as_bytes())
+                .map(Arc::new)
+                .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
+        }
+    }
+}
+
+/// Executes one job. Pure: the result depends only on the arguments.
+fn execute(
+    matrix: &Coo,
+    method: Method,
+    epsilon: f64,
+    seed: u64,
+    engine: &PartitionerConfig,
+    fingerprint: u64,
+) -> PartitionOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = method.bipartition(matrix, epsilon, engine, &mut rng);
+    let mut part_nnz = [0u64; 2];
+    for (p, &size) in result.partition.part_sizes().iter().take(2).enumerate() {
+        part_nnz[p] = size;
+    }
+    let imbalance = if matrix.nnz() == 0 {
+        0.0
+    } else {
+        load_imbalance(&result.partition)
+    };
+    PartitionOutcome {
+        rows: matrix.rows(),
+        cols: matrix.cols(),
+        nnz: matrix.nnz(),
+        fingerprint,
+        method: method.name(),
+        epsilon,
+        seed,
+        volume: result.volume,
+        imbalance,
+        ir_iterations: result.ir_iterations,
+        part_nnz,
+        partition: result.partition.parts().to_vec(),
+    }
+}
+
+/// The dispatcher: drains the queue in micro-batches and runs each batch
+/// on the ordered work-stealing pool, resolving primaries and followers
+/// as results stream back. Exits once shutdown is requested *and* the
+/// queue is fully drained — never dropping an accepted job.
+fn dispatcher_loop(engine: &Engine) {
+    loop {
+        let batch: Vec<EngineJob> = {
+            let mut inner = engine.lock();
+            loop {
+                if !inner.queue.is_empty() {
+                    break;
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = engine.work.wait(inner).expect("engine mutex poisoned");
+            }
+            let n = inner.queue.len().min(engine.config.max_batch.max(1));
+            inner.queue.drain(..n).collect()
+        };
+        engine.space.notify_all();
+
+        let mut delivers: Vec<Option<Deliver>> = Vec::with_capacity(batch.len());
+        let mut specs: Vec<(CacheKey, Arc<Coo>)> = Vec::with_capacity(batch.len());
+        for job in batch {
+            specs.push((job.key, job.matrix));
+            delivers.push(Some(job.deliver));
+        }
+        let threads = worker_count(engine.config.threads).min(specs.len()).max(1);
+        let specs = &specs;
+        run_batch_ordered(
+            specs.len(),
+            threads,
+            |i| {
+                let ((fingerprint, method, eps_bits, _, _), matrix) = &specs[i];
+                let seed = seed_of(&specs[i].0);
+                let start = Instant::now();
+                let outcome = execute(
+                    matrix,
+                    *method,
+                    f64::from_bits(*eps_bits),
+                    seed,
+                    &engine.config.engine,
+                    *fingerprint,
+                );
+                (outcome, start.elapsed().as_secs_f64())
+            },
+            |i, (outcome, secs)| {
+                let outcome = Arc::new(outcome);
+                let followers = {
+                    let mut inner = engine.lock();
+                    // Keys that never asked for the assignment cache a
+                    // *stripped* copy: the partition vector is O(nnz) and
+                    // would otherwise pin every large matrix in memory.
+                    let wants_partition = specs[i].0 .4;
+                    let cached_copy = if wants_partition || outcome.partition.is_empty() {
+                        outcome.clone()
+                    } else {
+                        let mut stripped = (*outcome).clone();
+                        stripped.partition = Vec::new();
+                        Arc::new(stripped)
+                    };
+                    inner.cache.insert(specs[i].0, cached_copy);
+                    inner.inflight.remove(&specs[i].0).unwrap_or_default()
+                };
+                if let Some(primary) = delivers[i].take() {
+                    primary(outcome.clone(), false, secs);
+                }
+                for follower in followers {
+                    follower(outcome.clone(), true, 0.0);
+                }
+            },
+        );
+    }
+}
+
+/// The effective RNG seed of a job: [`job_seed`] over the fingerprint
+/// (as a hex key string), the canonical method name and ε, folded with
+/// the request's seed base. Identical requests therefore share one RNG
+/// stream at any thread count — §V's determinism contract, extended from
+/// sweeps to the service.
+fn seed_of(key: &CacheKey) -> u64 {
+    // include_partition deliberately excluded: asking for the assignment
+    // must not change the result.
+    let (fingerprint, method, eps_bits, seed_base, _include_partition) = *key;
+    job_seed(
+        seed_base,
+        &format!("{fingerprint:016x}"),
+        method.name(),
+        f64::from_bits(eps_bits),
+    )
+}
+
+/// A running partition service: the shared engine plus its dispatcher
+/// thread. Create with [`Service::start`], attach any number of sessions
+/// ([`Service::run_session`]), and stop with
+/// [`Service::initiate_shutdown`] (or the in-band `shutdown` op).
+pub struct Service {
+    engine: Arc<Engine>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Per-session counters, all submission-order-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSummary {
+    /// Request lines decoded (including failed ones).
+    pub received: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Requests served from the cache or coalesced onto an in-flight
+    /// twin (`cached: true` responses).
+    pub cache_hits: u64,
+    /// Error responses.
+    pub errors: u64,
+}
+
+impl Service {
+    /// Starts the engine and its dispatcher thread.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let engine = Arc::new(Engine {
+            inner: Mutex::new(EngineInner {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                cache: LruCache::new(config.cache_capacity),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            collection: Mutex::new(None),
+            config,
+        });
+        let dispatcher_engine = engine.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("mg-server-dispatcher".into())
+            .spawn(move || dispatcher_loop(&dispatcher_engine))
+            .expect("spawning dispatcher");
+        Arc::new(Service {
+            engine,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        })
+    }
+
+    /// Stops accepting new jobs. Queued and executing jobs still finish
+    /// and their responses are still delivered (drain semantics).
+    pub fn initiate_shutdown(&self) {
+        self.engine.initiate_shutdown();
+    }
+
+    /// `true` once shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.engine.is_shutting_down()
+    }
+
+    /// Waits for the dispatcher to drain and exit. Implies
+    /// [`Service::initiate_shutdown`].
+    pub fn shutdown_and_join(&self) {
+        self.engine.initiate_shutdown();
+        if let Some(handle) = self
+            .dispatcher
+            .lock()
+            .expect("dispatcher mutex poisoned")
+            .take()
+        {
+            handle.join().expect("dispatcher panicked");
+        }
+    }
+
+    /// Opens a session driver for a custom transport. Most callers want
+    /// [`Service::run_session`] instead.
+    pub fn open_session(&self) -> SessionDriver<'_> {
+        SessionDriver {
+            service: self,
+            shared: Arc::new(SessionShared::default()),
+            summary: SessionSummary::default(),
+            next_index: 0,
+        }
+    }
+
+    /// Runs a full session over a generic line transport: reads requests
+    /// from `input` on the calling thread while a scoped writer thread
+    /// streams responses to `output` in submission order. Returns when
+    /// the input is exhausted (EOF or an in-band `shutdown`) and every
+    /// response has been written.
+    pub fn run_session<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        mut output: W,
+    ) -> SessionSummary {
+        let mut driver = self.open_session();
+        let shared = driver.shared();
+        crossbeam::scope(|scope| {
+            let out = &mut output;
+            let writer = scope.spawn(move |_| write_responses(&shared, out));
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                if !driver.handle_line(&line) {
+                    break;
+                }
+            }
+            driver.finish_input();
+            driver.summary.responses = writer.join().expect("session writer panicked");
+        })
+        .expect("session scope");
+        driver.summary
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// Response slots of one session: a sliding window of pending lines.
+/// `base` is the submission index of `slots[0]`; the writer pops from the
+/// front as lines become ready, so memory stays bounded by the in-flight
+/// window rather than the session length.
+#[derive(Default)]
+struct SessionSlots {
+    base: u64,
+    slots: VecDeque<Option<String>>,
+    input_done: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct SessionShared {
+    state: Mutex<SessionSlots>,
+    ready: Condvar,
+}
+
+impl SessionShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionSlots> {
+        self.state.lock().expect("session mutex poisoned")
+    }
+
+    fn push_pending(&self) {
+        self.lock().slots.push_back(None);
+    }
+
+    fn set(&self, index: u64, line: String) {
+        let mut state = self.lock();
+        let offset = (index - state.base) as usize;
+        state.slots[offset] = Some(line);
+        self.ready.notify_all();
+    }
+
+    fn finish_input(&self) {
+        self.lock().input_done = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Writer half of a session: emits ready responses in submission order,
+/// flushing after each line so clients see results as they land. Returns
+/// the number of responses written.
+pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) -> u64 {
+    let mut written = 0u64;
+    loop {
+        let line = {
+            let mut state = shared.lock();
+            loop {
+                if matches!(state.slots.front(), Some(Some(_))) {
+                    break;
+                }
+                if state.input_done && state.slots.front().is_none() {
+                    return written;
+                }
+                state = shared.ready.wait(state).expect("session mutex poisoned");
+            }
+            state.base += 1;
+            state
+                .slots
+                .pop_front()
+                .expect("checked front")
+                .expect("checked ready")
+        };
+        // A broken pipe means the client is gone; keep draining slots so
+        // the session still terminates cleanly.
+        if output.write_all(line.as_bytes()).is_ok()
+            && output.write_all(b"\n").is_ok()
+            && output.flush().is_ok()
+        {
+            written += 1;
+        }
+    }
+}
+
+/// Reader half of a session, usable from any transport: feed it request
+/// lines ([`SessionDriver::handle_line`]), run [`write_responses`] on the
+/// shared state from a writer thread, and call
+/// [`SessionDriver::finish_input`] when the input ends.
+pub struct SessionDriver<'s> {
+    service: &'s Service,
+    shared: Arc<SessionShared>,
+    summary: SessionSummary,
+    next_index: u64,
+}
+
+impl SessionDriver<'_> {
+    pub(crate) fn shared(&self) -> Arc<SessionShared> {
+        self.shared.clone()
+    }
+
+    /// Decodes and submits one request line. Returns `false` when the
+    /// session should stop reading (an in-band `shutdown`). Blank lines
+    /// are skipped without a response.
+    pub fn handle_line(&mut self, raw: &str) -> bool {
+        let line = raw.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        self.summary.received += 1;
+        self.shared.push_pending();
+
+        let request = match protocol::parse_request_line(line) {
+            Ok(request) => request,
+            Err(e) => {
+                self.summary.errors += 1;
+                self.shared
+                    .set(index, protocol::error_response(&e.id, e.code, &e.message));
+                return true;
+            }
+        };
+        match request.op {
+            RequestOp::Ping => {
+                self.shared
+                    .set(index, protocol::op_response(&request.id, "ping"));
+                true
+            }
+            RequestOp::Stats => {
+                self.shared.set(
+                    index,
+                    protocol::stats_response(
+                        &request.id,
+                        self.summary.received,
+                        self.summary.cache_hits,
+                        self.summary.errors,
+                    ),
+                );
+                true
+            }
+            RequestOp::Shutdown => {
+                self.service.initiate_shutdown();
+                self.shared
+                    .set(index, protocol::op_response(&request.id, "shutdown"));
+                false
+            }
+            RequestOp::Partition => {
+                let spec = request.spec.expect("partition requests carry a spec");
+                self.submit_partition(index, request.id, spec);
+                true
+            }
+        }
+    }
+
+    fn submit_partition(&mut self, index: u64, id: Json, spec: mg_core::service::PartitionSpec) {
+        let engine = &self.service.engine;
+        let matrix = match engine.resolve_matrix(&spec.matrix) {
+            Ok(matrix) => matrix,
+            Err((code, message)) => {
+                self.summary.errors += 1;
+                self.shared
+                    .set(index, protocol::error_response(&id, code, &message));
+                return;
+            }
+        };
+        let fingerprint = matrix_fingerprint(&matrix);
+        let seed_base = spec.seed.unwrap_or(engine.config.master_seed);
+        let key: CacheKey = (
+            fingerprint,
+            spec.method,
+            spec.epsilon.to_bits(),
+            seed_base,
+            spec.include_partition,
+        );
+
+        let shared = self.shared.clone();
+        let include_partition = spec.include_partition;
+        let timing = engine.config.timing;
+        let deliver_id = id.clone();
+        let deliver: Deliver = Box::new(move |outcome, cached, secs| {
+            let time_ms = timing.then_some(secs * 1000.0);
+            let line =
+                protocol::ok_response(&deliver_id, &outcome, cached, include_partition, time_ms);
+            shared.set(index, line);
+        });
+
+        match engine.submit(key, matrix, deliver) {
+            SubmitOutcome::CacheHit | SubmitOutcome::Follower => {
+                self.summary.cache_hits += 1;
+            }
+            SubmitOutcome::Queued => {}
+            SubmitOutcome::Rejected => {
+                self.summary.errors += 1;
+                self.shared.set(
+                    index,
+                    protocol::error_response(
+                        &id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining; request rejected",
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Marks the input stream as finished so the writer can terminate
+    /// once every pending response has been emitted.
+    pub fn finish_input(&self) {
+        self.shared.finish_input();
+    }
+
+    /// The session's counters so far (the `responses` field is only
+    /// final after the writer finishes).
+    pub fn summary(&self) -> SessionSummary {
+        self.summary
+    }
+}
+
+impl SessionDriver<'_> {
+    /// Sets the final `responses` count (transports that pump the writer
+    /// themselves feed the [`write_responses`] return value back here).
+    pub(crate) fn record_responses(&mut self, written: u64) {
+        self.summary.responses = written;
+    }
+}

@@ -1,0 +1,161 @@
+//! Transports: the same protocol over a stdio pipe or a threaded TCP
+//! listener.
+//!
+//! Both transports drive the exact same [`SessionDriver`] /
+//! [`crate::service::write_responses`] pair, so the response byte stream
+//! for a given request stream is transport-independent. Stdio ("pipe
+//! mode") is the testable, socket-free entry; TCP adds per-connection
+//! sessions with a shared engine, socket-level backpressure (the bounded
+//! submission queue blocks the reader, which stops draining the socket)
+//! and graceful drain-on-shutdown.
+
+use crate::service::{write_responses, Service, SessionDriver, SessionSummary};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs one session over arbitrary reader/writer halves (pipe mode).
+/// Returns when the input is exhausted or an in-band `shutdown` arrives.
+pub fn serve_pipe<R: BufRead, W: Write + Send>(
+    service: &Service,
+    input: R,
+    output: W,
+) -> SessionSummary {
+    service.run_session(input, output)
+}
+
+/// Runs a session over the process's stdin/stdout.
+pub fn serve_stdio(service: &Service) -> SessionSummary {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    service.run_session(stdin.lock(), stdout)
+}
+
+/// A running TCP front end.
+pub struct TcpServer {
+    /// The bound address (useful with port 0).
+    pub local_addr: SocketAddr,
+    accept_thread: std::thread::JoinHandle<()>,
+    service: Arc<Service>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7077`, port 0 for ephemeral) and
+    /// starts accepting connections, one session thread per connection.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let accept_service = service.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("mg-server-accept".into())
+            .spawn(move || accept_loop(&accept_service, &listener))?;
+        Ok(TcpServer {
+            local_addr,
+            accept_thread,
+            service,
+        })
+    }
+
+    /// Waits for the accept loop (and every session it spawned) to end,
+    /// then drains the engine. Returns once every accepted request has
+    /// been answered — the graceful-shutdown path.
+    pub fn join(self) {
+        self.accept_thread.join().expect("accept loop panicked");
+        self.service.shutdown_and_join();
+    }
+
+    /// Initiates shutdown and then drains like [`TcpServer::join`].
+    pub fn shutdown_and_join(self) {
+        self.service.initiate_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if service.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session_service = service.clone();
+                match std::thread::Builder::new()
+                    .name("mg-server-session".into())
+                    .spawn(move || tcp_session(&session_service, stream))
+                {
+                    Ok(handle) => sessions.push(handle),
+                    Err(_) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: wait for every open session to finish its stream. Session
+    // readers notice the shutdown flag within their read timeout, stop
+    // reading, and their writers flush all in-flight responses first.
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+/// One TCP connection: a timeout-aware read loop on this thread, the
+/// response writer on a second thread over a cloned stream handle.
+fn tcp_session(service: &Arc<Service>, stream: TcpStream) {
+    // The read timeout is what lets an idle connection notice shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut driver: SessionDriver<'_> = service.open_session();
+    let shared = driver.shared();
+    let writer = std::thread::Builder::new()
+        .name("mg-server-writer".into())
+        .spawn(move || {
+            let mut out = write_half;
+            write_responses(&shared, &mut out)
+        });
+    let Ok(writer) = writer else {
+        driver.finish_input();
+        return;
+    };
+
+    // Bytes, not `read_line`: on a timeout error `read_until` keeps every
+    // byte it already consumed in `buf` (read_line would discard a prefix
+    // that ends mid-way through a multi-byte UTF-8 character), so a
+    // request split across packets survives any number of retries intact.
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // client closed the connection
+            Ok(_) => {
+                let line = String::from_utf8_lossy(&buf);
+                let go = driver.handle_line(line.trim_end_matches(['\r', '\n']));
+                buf.clear();
+                if !go {
+                    break;
+                }
+            }
+            // A timeout leaves the partial line in `buf` and we simply
+            // retry; the next successful read appends the rest.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if service.is_shutting_down() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    driver.finish_input();
+    if let Ok(written) = writer.join() {
+        driver.record_responses(written);
+    }
+}

@@ -131,41 +131,47 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         ));
     }
 
-    let mut entries: Vec<(Idx, Idx)> = Vec::with_capacity(declared_nnz);
+    // Cap the pre-allocation: a hostile size line must not be able to
+    // reserve gigabytes before a single entry has been parsed. The vector
+    // still grows to whatever the file actually contains.
+    let mut entries: Vec<(Idx, Idx)> = Vec::with_capacity(declared_nnz.min(1 << 22));
     let mut seen = 0usize;
+    let expected_tokens = 2 + field.value_tokens();
     for (no, line) in lines {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
-        let mut it = trimmed.split_whitespace();
-        let i = parse_dim(
-            it.next()
-                .ok_or_else(|| SparseError::Parse(no + 1, "missing row index".into()))?,
-            no + 1,
-        )?;
-        let j = parse_dim(
-            it.next()
-                .ok_or_else(|| SparseError::Parse(no + 1, "missing column index".into()))?,
-            no + 1,
-        )?;
-        let values: Vec<&str> = it.collect();
-        if values.len() < field.value_tokens() {
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        if tokens.len() < expected_tokens {
+            return Err(SparseError::TruncatedEntry {
+                line: no + 1,
+                expected: expected_tokens,
+                found: tokens.len(),
+            });
+        }
+        if tokens.len() > expected_tokens {
             return Err(SparseError::Parse(
                 no + 1,
                 format!(
-                    "expected {} value token(s), got {}",
-                    field.value_tokens(),
-                    values.len()
+                    "{} trailing token(s) after a complete entry",
+                    tokens.len() - expected_tokens
                 ),
             ));
         }
+        let i = parse_dim(tokens[0], no + 1)?;
+        let j = parse_dim(tokens[1], no + 1)?;
+        // Coordinates are 1-based; zero smells like 0-based indexing and is
+        // rejected rather than silently shifted.
         if i == 0 || j == 0 || i > m || j > n {
-            return Err(SparseError::Parse(
-                no + 1,
-                format!("coordinate ({i}, {j}) out of bounds for {m}x{n}"),
-            ));
+            return Err(SparseError::EntryOutOfRange {
+                line: no + 1,
+                row: i,
+                col: j,
+                rows: m,
+                cols: n,
+            });
         }
         let (i0, j0) = ((i - 1) as Idx, (j - 1) as Idx);
         entries.push((i0, j0));
@@ -178,10 +184,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         seen += 1;
     }
     if seen != declared_nnz {
-        return Err(SparseError::Parse(
-            size_line_no,
-            format!("size line declares {declared_nnz} entries, file has {seen}"),
-        ));
+        return Err(SparseError::CountMismatch {
+            declared: declared_nnz,
+            found: seen,
+        });
     }
     Coo::new(m as Idx, n as Idx, entries)
 }
@@ -328,6 +334,131 @@ mod tests {
                     2 2\n";
         let a = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_based_indices_with_a_typed_error() {
+        for (bad_entry, row, col) in [("0 1", 0, 1), ("1 0", 1, 0)] {
+            let text =
+                format!("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n{bad_entry}\n");
+            match read_matrix_market(text.as_bytes()) {
+                Err(SparseError::EntryOutOfRange {
+                    line,
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                }) => {
+                    assert_eq!((line, r, c, rows, cols), (3, row, col, 2, 2));
+                }
+                other => panic!("expected EntryOutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices_with_a_typed_error() {
+        for bad_entry in ["3 1", "1 4", "99 99"] {
+            let text =
+                format!("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n{bad_entry}\n");
+            assert!(matches!(
+                read_matrix_market(text.as_bytes()),
+                Err(SparseError::EntryOutOfRange { line: 3, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_entry_lines_with_a_typed_error() {
+        // Pattern entry missing its column.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::TruncatedEntry {
+                line: 3,
+                expected: 2,
+                found: 1
+            })
+        );
+        // Real entry missing its value.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::TruncatedEntry {
+                line: 3,
+                expected: 3,
+                found: 2
+            })
+        );
+        // Complex entry with only one value token.
+        let text = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 0.5\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::TruncatedEntry {
+                line: 3,
+                expected: 4,
+                found: 3
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_on_entry_lines() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 7\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::Parse(3, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_count_mismatches_with_a_typed_error() {
+        // Fewer entries than declared.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 1\n2 2\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::CountMismatch {
+                declared: 3,
+                found: 2
+            })
+        );
+        // More entries than declared.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 1\n2 2\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::CountMismatch {
+                declared: 1,
+                found: 2
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_declared_count_does_not_preallocate() {
+        // A size line declaring 10^15 entries must fail with a count
+        // mismatch (quickly), not attempt the allocation up front.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1000000000000000\n1 1\n";
+        assert_eq!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::CountMismatch {
+                declared: 1_000_000_000_000_000,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_coordinates() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx 1\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::Parse(3, _))
+        ));
+        let negative = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n-1 1\n";
+        assert!(matches!(
+            read_matrix_market(negative.as_bytes()),
+            Err(SparseError::Parse(3, _))
+        ));
     }
 
     #[test]

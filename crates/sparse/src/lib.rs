@@ -63,6 +63,39 @@ pub enum SparseError {
     TooManyNonzeros(usize),
     /// A Matrix Market parse problem, with a line number and message.
     Parse(usize, String),
+    /// A Matrix Market entry whose 1-based coordinate falls outside the
+    /// declared dimensions. Zero coordinates (0-based indexing smuggled
+    /// into a 1-based format) land here too.
+    EntryOutOfRange {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Row coordinate as written in the file (1-based).
+        row: u64,
+        /// Column coordinate as written in the file (1-based).
+        col: u64,
+        /// Declared number of rows.
+        rows: u64,
+        /// Declared number of columns.
+        cols: u64,
+    },
+    /// A Matrix Market entry line with fewer tokens than its field type
+    /// requires (missing coordinate or value tokens).
+    TruncatedEntry {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Tokens the field type requires (coordinates + values).
+        expected: usize,
+        /// Tokens actually present.
+        found: usize,
+    },
+    /// The file stores a different number of entries than its size line
+    /// declares.
+    CountMismatch {
+        /// Entry count declared on the size line.
+        declared: usize,
+        /// Entry lines actually present.
+        found: usize,
+    },
     /// An I/O failure converted to a string (keeps the error type `Clone`).
     Io(String),
 }
@@ -80,6 +113,28 @@ impl std::fmt::Display for SparseError {
                 write!(f, "{nnz} nonzeros exceed the u32 index space")
             }
             SparseError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+            SparseError::EntryOutOfRange {
+                line,
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) on line {line} out of range for a {rows}x{cols} matrix \
+                 (coordinates are 1-based)"
+            ),
+            SparseError::TruncatedEntry {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "truncated entry on line {line}: expected {expected} token(s), found {found}"
+            ),
+            SparseError::CountMismatch { declared, found } => {
+                write!(f, "size line declares {declared} entries, file has {found}")
+            }
             SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
