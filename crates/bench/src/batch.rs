@@ -2,8 +2,10 @@
 //! the work-stealing pool of [`mg_collection::batch`], with JSON-lines
 //! results.
 //!
-//! Each (matrix × method × ε) cell is one job. Its RNG stream is seeded
-//! from a stable hash of the cell's *key* ([`mg_collection::job_seed`]),
+//! Each (matrix × method × ε) cell is one job, executed on the sweep's
+//! configured [`mg_core::backend`] engine. Its RNG stream is seeded from
+//! a stable hash of the cell's *key*, backend name included
+//! ([`mg_collection::job_seed`]),
 //! so results do not depend on sweep order, thread count or scheduling —
 //! the determinism contract of the paper's §V extended from a single
 //! split to a whole experiment campaign. The opt-in verify pass
@@ -15,11 +17,8 @@
 use crate::runner::class_label;
 use mg_collection::batch::{expand_jobs, run_jobs, run_seed, worker_count};
 use mg_collection::{generate, CollectionEntry, CollectionSpec};
-use mg_core::{sharded_volume, Method, ShardPolicy};
-use mg_partitioner::PartitionerConfig;
+use mg_core::{parse_backend, sharded_volume, Method, PartitionBackend, ShardPolicy};
 use mg_sparse::{load_imbalance, MatrixClass};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Configuration of a batched sweep.
@@ -27,6 +26,11 @@ use std::time::Instant;
 pub struct BatchSweepConfig {
     /// Which collection to run on.
     pub collection: CollectionSpec,
+    /// Keep only collection matrices whose name contains one of these
+    /// substrings; `None` keeps everything. A filter that matches nothing
+    /// makes the sweep fail with [`SweepError::EmptySweep`] rather than
+    /// silently succeed on zero cells.
+    pub matrices: Option<Vec<String>>,
     /// Methods to compare.
     pub methods: Vec<Method>,
     /// Load-imbalance parameters to sweep (the paper fixes ε = 0.03; the
@@ -36,8 +40,10 @@ pub struct BatchSweepConfig {
     pub runs: u32,
     /// Master seed folded into every cell's key hash.
     pub seed: u64,
-    /// Engine preset (Mondriaan-like or PaToH-like).
-    pub engine: PartitionerConfig,
+    /// Canonical backend name ([`mg_core::backend`] registry: `mondriaan`,
+    /// `patoh`, `coarse-grain`, `geometric`). Part of every cell key, so
+    /// campaigns on different engines draw independent RNG streams.
+    pub backend: String,
     /// Worker threads for the job pool; 0 = one per available core.
     pub threads: usize,
     /// Intra-job routing policy for the verify pass: instances with at
@@ -51,21 +57,62 @@ pub struct BatchSweepConfig {
 }
 
 impl BatchSweepConfig {
-    /// The paper's standard campaign: six methods, ε = 0.03.
-    pub fn paper(collection: CollectionSpec, engine: PartitionerConfig, runs: u32) -> Self {
+    /// The paper's standard campaign: six methods, ε = 0.03, on the named
+    /// backend.
+    pub fn paper(collection: CollectionSpec, backend: &str, runs: u32) -> Self {
         BatchSweepConfig {
             collection,
+            matrices: None,
             methods: Method::paper_set().to_vec(),
             epsilons: vec![0.03],
             runs,
             seed: 0xB15EC7,
-            engine,
+            backend: backend.to_string(),
             threads: 0,
             policy: ShardPolicy::verification(),
             verify: false,
         }
     }
 }
+
+/// Why a sweep could not run. Every variant is a *setup* failure caught
+/// before any job executes, so a failed sweep never produces partial
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The configured backend name is not in the registry; the message is
+    /// the registry's own (it lists every valid name).
+    UnknownBackend(String),
+    /// The (matrix × method × ε) cross product is empty — typically a
+    /// matrix filter that matched nothing, or an empty method/ε list.
+    EmptySweep {
+        /// Matrices remaining after the name filter.
+        matrices: usize,
+        /// Methods configured.
+        methods: usize,
+        /// ε values configured.
+        epsilons: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownBackend(message) => f.write_str(message),
+            SweepError::EmptySweep {
+                matrices,
+                methods,
+                epsilons,
+            } => write!(
+                f,
+                "empty sweep: {matrices} matrices x {methods} methods x \
+                 {epsilons} epsilons expands to no jobs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
 
 /// One measured sweep cell.
 #[derive(Debug, Clone)]
@@ -76,6 +123,8 @@ pub struct BatchRecord {
     pub class: MatrixClass,
     /// Matrix nonzero count.
     pub nnz: usize,
+    /// Canonical backend name the cell ran on.
+    pub backend: String,
     /// Method label (`LB`, `MG+IR`, …).
     pub method: String,
     /// Load-imbalance parameter of this cell.
@@ -114,11 +163,13 @@ impl BatchRecord {
     /// agree on results.
     pub fn json_line(&self) -> String {
         format!(
-            "{{\"matrix\":\"{}\",\"class\":\"{}\",\"nnz\":{},\"method\":\"{}\",\
+            "{{\"matrix\":\"{}\",\"class\":\"{}\",\"nnz\":{},\"backend\":\"{}\",\
+             \"method\":\"{}\",\
              \"epsilon\":{},\"runs\":{},\"seed\":{},\"volume_avg\":{},\"imbalance_max\":{}}}",
             escape_json(&self.matrix),
             class_label(self.class),
             self.nnz,
+            escape_json(&self.backend),
             escape_json(&self.method),
             self.epsilon,
             self.runs,
@@ -151,27 +202,54 @@ pub fn records_to_jsonl(records: &[BatchRecord]) -> String {
     out
 }
 
-/// Runs the batched sweep: expands the cross product into jobs, schedules
-/// them over the work-stealing pool, and returns one record per cell in
-/// canonical job order (matrix generation order, then method, then ε).
-pub fn run_batch_sweep(config: &BatchSweepConfig) -> Vec<BatchRecord> {
-    let entries = generate(&config.collection);
+/// Runs the batched sweep: resolves the backend, expands the cross
+/// product into jobs, schedules them over the work-stealing pool, and
+/// returns one record per cell in canonical job order (matrix generation
+/// order, then method, then ε).
+///
+/// Fails (without running anything) when the backend name is unknown or
+/// the job list expands to nothing — an empty sweep is a configuration
+/// error, never a silent success.
+pub fn run_batch_sweep(config: &BatchSweepConfig) -> Result<Vec<BatchRecord>, SweepError> {
+    let backend = parse_backend(&config.backend).map_err(SweepError::UnknownBackend)?;
+    // The whole collection must be generated before filtering: the suite
+    // threads one RNG stream through all matrices, so skipping earlier
+    // instances would change the content of the kept ones and break the
+    // filter-independence of cell results.
+    let mut entries = generate(&config.collection);
+    if let Some(filters) = &config.matrices {
+        entries.retain(|e| filters.iter().any(|f| e.name.contains(f.as_str())));
+    }
     let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
     // Labels go through the canonical Method codec (Display = paper label,
     // `Method::parse_name` inverts it), so record streams stay parseable by
     // every other layer — see the round-trip test below.
     let labels: Vec<String> = config.methods.iter().map(|m| m.to_string()).collect();
-    let jobs = expand_jobs(&names, &labels, &config.epsilons, config.seed);
-    run_jobs(&jobs, worker_count(config.threads), |job| {
+    let jobs = expand_jobs(
+        backend.name(),
+        &names,
+        &labels,
+        &config.epsilons,
+        config.seed,
+    );
+    if jobs.is_empty() {
+        return Err(SweepError::EmptySweep {
+            matrices: names.len(),
+            methods: labels.len(),
+            epsilons: config.epsilons.len(),
+        });
+    }
+    Ok(run_jobs(&jobs, worker_count(config.threads), |job| {
         let entry = &entries[job.matrix_index];
         let method = config.methods[job.method_index];
-        measure_cell(entry, method, job, config)
-    })
+        measure_cell(entry, method, backend, job, config)
+    }))
 }
 
 fn measure_cell(
     entry: &CollectionEntry,
     method: Method,
+    backend: &dyn PartitionBackend,
     job: &mg_collection::BatchJob,
     config: &BatchSweepConfig,
 ) -> BatchRecord {
@@ -180,9 +258,8 @@ fn measure_cell(
     let mut imbalance_max = 0.0f64;
     let mut time_sum = 0.0f64;
     for run in 0..runs {
-        let mut rng = StdRng::seed_from_u64(run_seed(job, run));
         let start = Instant::now();
-        let result = method.bipartition(&entry.matrix, job.epsilon, &config.engine, &mut rng);
+        let result = backend.bipartition(&entry.matrix, method, job.epsilon, run_seed(job, run));
         time_sum += start.elapsed().as_secs_f64();
         if config.verify {
             // Independent recomputation through the sharded pipeline:
@@ -205,6 +282,7 @@ fn measure_cell(
         matrix: entry.name.clone(),
         class: entry.class,
         nnz: entry.matrix.nnz(),
+        backend: job.backend.clone(),
         method: job.method.clone(),
         epsilon: job.epsilon,
         runs,
@@ -226,7 +304,7 @@ mod tests {
                 seed: 7,
                 scale: CollectionScale::Smoke,
             },
-            PartitionerConfig::mondriaan_like(),
+            "mondriaan",
             1,
         );
         cfg.methods = vec![
@@ -241,7 +319,7 @@ mod tests {
     #[test]
     fn batch_sweep_covers_the_full_cross_product() {
         let cfg = smoke_config();
-        let records = run_batch_sweep(&cfg);
+        let records = run_batch_sweep(&cfg).unwrap();
         let entries = generate(&cfg.collection);
         assert_eq!(
             records.len(),
@@ -270,6 +348,7 @@ mod tests {
             matrix: "m\"1".to_string(),
             class: MatrixClass::Symmetric,
             nnz: 42,
+            backend: "patoh".to_string(),
             method: "MG+IR".to_string(),
             epsilon: 0.03,
             runs: 2,
@@ -281,7 +360,8 @@ mod tests {
         let line = r.json_line();
         assert_eq!(
             line,
-            "{\"matrix\":\"m\\\"1\",\"class\":\"Sym\",\"nnz\":42,\"method\":\"MG+IR\",\
+            "{\"matrix\":\"m\\\"1\",\"class\":\"Sym\",\"nnz\":42,\"backend\":\"patoh\",\
+             \"method\":\"MG+IR\",\
              \"epsilon\":0.03,\"runs\":2,\"seed\":99,\"volume_avg\":12.5,\"imbalance_max\":0.01}"
         );
         assert!(!line.contains("time_avg_s"));
@@ -294,20 +374,75 @@ mod tests {
     #[test]
     fn record_method_labels_round_trip_through_the_codec() {
         let cfg = smoke_config();
-        let records = run_batch_sweep(&cfg);
+        let records = run_batch_sweep(&cfg).unwrap();
         for r in &records {
             let parsed = Method::parse_name(&r.method)
                 .unwrap_or_else(|e| panic!("record label {:?} does not parse: {e}", r.method));
             assert_eq!(parsed.to_string(), r.method);
+            assert_eq!(
+                parse_backend(&r.backend).unwrap().name(),
+                r.backend,
+                "record backend name is canonical"
+            );
         }
     }
 
     #[test]
     fn jsonl_has_one_line_per_record() {
         let cfg = smoke_config();
-        let records = run_batch_sweep(&cfg);
+        let records = run_batch_sweep(&cfg).unwrap();
         let jsonl = records_to_jsonl(&records);
         assert_eq!(jsonl.lines().count(), records.len());
         assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn unknown_backend_is_a_typed_setup_error() {
+        let mut cfg = smoke_config();
+        cfg.backend = "hmetis".to_string();
+        match run_batch_sweep(&cfg) {
+            Err(SweepError::UnknownBackend(message)) => {
+                assert!(message.contains("hmetis"), "{message}");
+                assert!(message.contains("coarse-grain"), "lists names: {message}");
+            }
+            other => panic!("expected UnknownBackend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sweeps_are_a_typed_setup_error() {
+        let mut cfg = smoke_config();
+        cfg.matrices = Some(vec!["no_such_matrix".to_string()]);
+        match run_batch_sweep(&cfg) {
+            Err(SweepError::EmptySweep { matrices, .. }) => assert_eq!(matrices, 0),
+            other => panic!("expected EmptySweep, got {other:?}"),
+        }
+        let rendered = SweepError::EmptySweep {
+            matrices: 0,
+            methods: 2,
+            epsilons: 1,
+        }
+        .to_string();
+        assert!(rendered.contains("empty sweep"), "{rendered}");
+    }
+
+    #[test]
+    fn matrix_filters_narrow_the_sweep() {
+        let mut cfg = smoke_config();
+        cfg.matrices = Some(vec!["laplace2d_".to_string()]);
+        let records = run_batch_sweep(&cfg).unwrap();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.matrix.contains("laplace2d_")));
+        // Filtered cells keep the seeds they had in the full sweep
+        // (key-hash seeding is filter-independent).
+        let full = run_batch_sweep(&smoke_config()).unwrap();
+        for r in &records {
+            let twin = full
+                .iter()
+                .find(|f| f.matrix == r.matrix && f.method == r.method && f.epsilon == r.epsilon)
+                .expect("cell exists in the full sweep");
+            assert_eq!(twin.seed, r.seed);
+            assert_eq!(twin.volume_avg, r.volume_avg);
+        }
     }
 }

@@ -12,7 +12,6 @@ use mg_bench::{
     batch_to_run_records, multiway_to_csv, records_to_csv, records_to_jsonl, run_batch_sweep,
     write_artifact, BatchSweepConfig, CliOptions,
 };
-use mg_partitioner::PartitionerConfig;
 use std::time::Instant;
 
 fn main() {
@@ -38,15 +37,11 @@ fn main() {
     // from the same records. ---
     eprintln!("[2/5] Mondriaan-like batched sweep (figs 4, 5, table I)...");
     let batch_config = {
-        let mut c = BatchSweepConfig::paper(
-            opts.collection(),
-            PartitionerConfig::mondriaan_like(),
-            opts.runs,
-        );
+        let mut c = BatchSweepConfig::paper(opts.collection(), "mondriaan", opts.runs);
         c.threads = opts.threads;
         c
     };
-    let batch_records = run_batch_sweep(&batch_config);
+    let batch_records = run_batch_sweep(&batch_config).expect("the paper sweep config is valid");
     write_artifact("sweep_p2.jsonl", &records_to_jsonl(&batch_records));
     let records = batch_to_run_records(batch_records);
     write_artifact("fig4_records.csv", &records_to_csv(&records));

@@ -185,39 +185,39 @@ pub fn render_table2(p2: &[MultiwayRecord], p64: &[MultiwayRecord]) -> String {
     out
 }
 
-/// Convenience: the standard Mondriaan-like sweep for Figs 4, 5 and
+/// Convenience: the standard Mondriaan-backend sweep for Figs 4, 5 and
 /// Table I.
 pub fn standard_sweep(
     collection: mg_collection::CollectionSpec,
     runs: u32,
     threads: usize,
 ) -> Vec<RunRecord> {
-    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::mondriaan_like(), runs);
+    let mut cfg = SweepConfig::paper(collection, "mondriaan", runs);
     cfg.threads = threads;
-    run_sweep(&cfg)
+    run_sweep(&cfg).expect("the paper sweep configuration is valid")
 }
 
-/// Convenience: the PaToH-like sweep for Fig 6 / Table II.
+/// Convenience: the PaToH-backend sweep for Fig 6 / Table II.
 pub fn patoh_sweep(
     collection: mg_collection::CollectionSpec,
     runs: u32,
     threads: usize,
 ) -> Vec<RunRecord> {
-    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::patoh_like(), runs);
+    let mut cfg = SweepConfig::paper(collection, "patoh", runs);
     cfg.threads = threads;
-    run_sweep(&cfg)
+    run_sweep(&cfg).expect("the paper sweep configuration is valid")
 }
 
-/// Convenience: the PaToH-like p-way sweep for Fig 6b / Table II.
+/// Convenience: the PaToH-backend p-way sweep for Fig 6b / Table II.
 pub fn patoh_multiway_sweep(
     collection: mg_collection::CollectionSpec,
     runs: u32,
     threads: usize,
     p: u32,
 ) -> Vec<MultiwayRecord> {
-    let mut cfg = SweepConfig::paper(collection, PartitionerConfig::patoh_like(), runs);
+    let mut cfg = SweepConfig::paper(collection, "patoh", runs);
     cfg.threads = threads;
-    run_multiway_sweep(&cfg, p)
+    run_multiway_sweep(&cfg, p).expect("the paper sweep configuration is valid")
 }
 
 /// Groups multiway records by class label and produces a volume profile —

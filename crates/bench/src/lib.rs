@@ -25,7 +25,7 @@ pub mod profiles;
 pub mod report;
 pub mod runner;
 
-pub use batch::{records_to_jsonl, run_batch_sweep, BatchRecord, BatchSweepConfig};
+pub use batch::{records_to_jsonl, run_batch_sweep, BatchRecord, BatchSweepConfig, SweepError};
 pub use geomean::{geometric_mean, normalized_geomean_table, GeomeanTable};
 pub use profiles::{performance_profile, PerformanceProfile};
 pub use report::{results_dir, write_artifact, CliOptions};

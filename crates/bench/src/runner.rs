@@ -8,15 +8,12 @@
 //! the work-stealing pool and seeded from stable key hashes, so records
 //! are identical for every thread count.
 
-use crate::batch::{run_batch_sweep, BatchSweepConfig};
+use crate::batch::{run_batch_sweep, BatchSweepConfig, SweepError};
 use mg_collection::batch::{expand_jobs, run_jobs, run_seed};
 use mg_collection::worker_count;
 use mg_collection::{generate, CollectionSpec};
-use mg_core::{recursive_bisection, Method, ShardPolicy};
-use mg_partitioner::PartitionerConfig;
+use mg_core::{parse_backend, recursive_bisection_backend, Method, ShardPolicy};
 use mg_sparse::{bsp_cost, Idx, MatrixClass};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Configuration of a sweep.
@@ -30,8 +27,8 @@ pub struct SweepConfig {
     pub runs: u32,
     /// Master seed for the partitioning RNG streams.
     pub seed: u64,
-    /// Engine preset (Mondriaan-like or PaToH-like).
-    pub engine: PartitionerConfig,
+    /// Canonical backend name (the [`mg_core::backend`] registry).
+    pub backend: String,
     /// Methods to compare.
     pub methods: Vec<Method>,
     /// Worker threads; 0 = one per available core.
@@ -39,14 +36,14 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The paper's standard sweep: six methods, ε = 0.03, given engine.
-    pub fn paper(collection: CollectionSpec, engine: PartitionerConfig, runs: u32) -> Self {
+    /// The paper's standard sweep: six methods, ε = 0.03, given backend.
+    pub fn paper(collection: CollectionSpec, backend: &str, runs: u32) -> Self {
         SweepConfig {
             collection,
             epsilon: 0.03,
             runs,
             seed: 0xB15EC7,
-            engine,
+            backend: backend.to_string(),
             methods: Method::paper_set().to_vec(),
             threads: 0,
         }
@@ -127,19 +124,20 @@ pub fn batch_to_run_records(records: Vec<crate::batch::BatchRecord>) -> Vec<RunR
 /// Runs the p = 2 sweep, returning one record per (matrix, method), sorted
 /// by matrix name then method label. A thin view over
 /// [`crate::batch::run_batch_sweep`] with a single-ε axis.
-pub fn run_sweep(config: &SweepConfig) -> Vec<RunRecord> {
+pub fn run_sweep(config: &SweepConfig) -> Result<Vec<RunRecord>, SweepError> {
     let batch = BatchSweepConfig {
         collection: config.collection.clone(),
+        matrices: None,
         methods: config.methods.clone(),
         epsilons: vec![config.epsilon],
         runs: config.runs,
         seed: config.seed,
-        engine: config.engine.clone(),
+        backend: config.backend.clone(),
         threads: config.threads,
         policy: ShardPolicy::sequential(),
         verify: false,
     };
-    batch_to_run_records(run_batch_sweep(&batch))
+    Ok(batch_to_run_records(run_batch_sweep(&batch)?))
 }
 
 /// Runs the p-way sweep (recursive bisection), additionally measuring the
@@ -147,7 +145,8 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<RunRecord> {
 /// same work-stealing pool as the p = 2 sweep; `p` is folded into the
 /// master seed so the p = 2 and p = 64 campaigns draw independent
 /// streams.
-pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
+pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Result<Vec<MultiwayRecord>, SweepError> {
+    let backend = parse_backend(&config.backend).map_err(SweepError::UnknownBackend)?;
     let entries = generate(&config.collection);
     let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
     let labels: Vec<String> = config
@@ -156,7 +155,14 @@ pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
         .map(|m| m.label().to_string())
         .collect();
     let master = config.seed ^ (u64::from(p) << 32) ^ 0x4D57_4159; // "MWAY"
-    let jobs = expand_jobs(&names, &labels, &[config.epsilon], master);
+    let jobs = expand_jobs(backend.name(), &names, &labels, &[config.epsilon], master);
+    if jobs.is_empty() {
+        return Err(SweepError::EmptySweep {
+            matrices: names.len(),
+            methods: labels.len(),
+            epsilons: 1,
+        });
+    }
     let runs = config.runs.max(1);
 
     let mut out: Vec<MultiwayRecord> = run_jobs(&jobs, worker_count(config.threads), |job| {
@@ -166,15 +172,14 @@ pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
         let mut cost_sum = 0.0;
         let mut time_sum = 0.0;
         for run in 0..runs {
-            let mut rng = StdRng::seed_from_u64(run_seed(job, run));
             let start = Instant::now();
-            let result = recursive_bisection(
+            let result = recursive_bisection_backend(
                 &entry.matrix,
                 p,
                 job.epsilon,
                 method,
-                &config.engine,
-                &mut rng,
+                backend,
+                run_seed(job, run),
             );
             time_sum += start.elapsed().as_secs_f64();
             volume_sum += result.volume as f64;
@@ -191,7 +196,7 @@ pub fn run_multiway_sweep(config: &SweepConfig, p: Idx) -> Vec<MultiwayRecord> {
         }
     });
     out.sort_by(|a, b| (a.matrix.as_str(), a.method.as_str()).cmp(&(&b.matrix, &b.method)));
-    out
+    Ok(out)
 }
 
 /// The paper's column order for method labels; unknown labels sort last,
@@ -293,7 +298,7 @@ mod tests {
                 seed: 7,
                 scale: CollectionScale::Smoke,
             },
-            PartitionerConfig::mondriaan_like(),
+            "mondriaan",
             1,
         );
         cfg.methods = vec![
@@ -306,7 +311,7 @@ mod tests {
     #[test]
     fn sweep_covers_every_matrix_and_method() {
         let cfg = tiny_config();
-        let records = run_sweep(&cfg);
+        let records = run_sweep(&cfg).unwrap();
         let entries = generate(&cfg.collection);
         assert_eq!(records.len(), entries.len() * cfg.methods.len());
         for r in &records {
@@ -319,9 +324,9 @@ mod tests {
     fn sweep_is_deterministic_across_thread_counts() {
         let mut cfg = tiny_config();
         cfg.threads = 1;
-        let one = run_sweep(&cfg);
+        let one = run_sweep(&cfg).unwrap();
         cfg.threads = 4;
-        let four = run_sweep(&cfg);
+        let four = run_sweep(&cfg).unwrap();
         assert_eq!(one.len(), four.len());
         for (a, b) in one.iter().zip(&four) {
             assert_eq!(a.matrix, b.matrix);
@@ -338,12 +343,12 @@ mod tests {
                 seed: 7,
                 scale: CollectionScale::Smoke,
             },
-            PartitionerConfig::mondriaan_like(),
+            "mondriaan",
             1,
         );
         cfg.methods = vec![Method::LocalBest { refine: false }];
         cfg.epsilons = vec![0.03, 0.1];
-        let records = crate::batch::run_batch_sweep(&cfg);
+        let records = crate::batch::run_batch_sweep(&cfg).unwrap();
         let _ = batch_to_run_records(records);
     }
 
@@ -351,9 +356,9 @@ mod tests {
     fn multiway_sweep_is_deterministic_across_thread_counts() {
         let mut cfg = tiny_config();
         cfg.threads = 1;
-        let one = run_multiway_sweep(&cfg, 4);
+        let one = run_multiway_sweep(&cfg, 4).unwrap();
         cfg.threads = 3;
-        let three = run_multiway_sweep(&cfg, 4);
+        let three = run_multiway_sweep(&cfg, 4).unwrap();
         assert_eq!(one.len(), three.len());
         for (a, b) in one.iter().zip(&three) {
             assert_eq!(a.matrix, b.matrix);
@@ -364,9 +369,19 @@ mod tests {
     }
 
     #[test]
+    fn multiway_sweep_rejects_unknown_backends() {
+        let mut cfg = tiny_config();
+        cfg.backend = "zoltan".to_string();
+        assert!(matches!(
+            run_multiway_sweep(&cfg, 4),
+            Err(SweepError::UnknownBackend(_))
+        ));
+    }
+
+    #[test]
     fn pivot_produces_consistent_matrix() {
         let cfg = tiny_config();
-        let records = run_sweep(&cfg);
+        let records = run_sweep(&cfg).unwrap();
         let (methods, values, groups) = pivot_records(&records, |r| r.volume_avg);
         assert_eq!(methods.len(), 2);
         assert_eq!(values[0].len(), groups.len());
@@ -376,7 +391,7 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let cfg = tiny_config();
-        let records = run_sweep(&cfg);
+        let records = run_sweep(&cfg).unwrap();
         let csv = records_to_csv(&records);
         assert_eq!(csv.lines().count(), records.len() + 1);
         assert!(csv.starts_with("matrix,class,nnz,method"));

@@ -1,13 +1,13 @@
 //! The whole-sweep determinism contract (§V extended from a single split
 //! to the batched campaign): the serialized results of the Smoke-scale
-//! sweep must be byte-identical for every thread count, and every cell's
-//! values must be a pure function of its (matrix, method, ε) key — never
-//! of sweep order or scheduling.
+//! sweep must be byte-identical for every thread count — for every
+//! registered backend — and every cell's values must be a pure function
+//! of its (backend, matrix, method, ε) key, never of sweep order or
+//! scheduling.
 
 use mg_bench::{records_to_jsonl, run_batch_sweep, BatchSweepConfig};
 use mg_collection::{CollectionScale, CollectionSpec};
-use mg_core::Method;
-use mg_partitioner::PartitionerConfig;
+use mg_core::{backend_names, Method};
 
 fn smoke_config(threads: usize) -> BatchSweepConfig {
     let mut cfg = BatchSweepConfig::paper(
@@ -15,7 +15,7 @@ fn smoke_config(threads: usize) -> BatchSweepConfig {
             seed: 11,
             scale: CollectionScale::Smoke,
         },
-        PartitionerConfig::mondriaan_like(),
+        "mondriaan",
         1,
     );
     cfg.methods = vec![
@@ -28,12 +28,22 @@ fn smoke_config(threads: usize) -> BatchSweepConfig {
     cfg
 }
 
+/// A cheaper per-backend configuration (one method, one ε) so the
+/// four-backend × four-thread-count matrix stays test-suite friendly.
+fn backend_config(backend: &str, threads: usize) -> BatchSweepConfig {
+    let mut cfg = smoke_config(threads);
+    cfg.backend = backend.to_string();
+    cfg.methods = vec![Method::MediumGrain { refine: true }];
+    cfg.epsilons = vec![0.03];
+    cfg
+}
+
 #[test]
 fn smoke_sweep_is_byte_identical_for_1_2_4_8_threads() {
-    let baseline = records_to_jsonl(&run_batch_sweep(&smoke_config(1)));
+    let baseline = records_to_jsonl(&run_batch_sweep(&smoke_config(1)).unwrap());
     assert!(!baseline.is_empty());
     for threads in [2usize, 4, 8] {
-        let jsonl = records_to_jsonl(&run_batch_sweep(&smoke_config(threads)));
+        let jsonl = records_to_jsonl(&run_batch_sweep(&smoke_config(threads)).unwrap());
         assert_eq!(
             baseline, jsonl,
             "serialized sweep diverged at {threads} threads"
@@ -41,11 +51,46 @@ fn smoke_sweep_is_byte_identical_for_1_2_4_8_threads() {
     }
 }
 
+/// The acceptance contract of the backend seam: *every* registered
+/// backend produces byte-identical JSON lines at 1/2/4/8 worker threads.
+/// CI additionally enforces this through the real `mgpart sweep` binary
+/// (the `backend-conformance` job).
+#[test]
+fn every_backend_sweep_is_byte_identical_for_1_2_4_8_threads() {
+    for backend in backend_names() {
+        let baseline = records_to_jsonl(&run_batch_sweep(&backend_config(backend, 1)).unwrap());
+        assert!(!baseline.is_empty(), "{backend}");
+        assert!(
+            baseline.contains(&format!("\"backend\":\"{backend}\"")),
+            "{backend} records must carry the backend name"
+        );
+        for threads in [2usize, 4, 8] {
+            let jsonl =
+                records_to_jsonl(&run_batch_sweep(&backend_config(backend, threads)).unwrap());
+            assert_eq!(
+                baseline, jsonl,
+                "{backend} sweep diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_draw_independent_result_streams() {
+    // Same campaign, different backends: the records must differ in the
+    // backend field (and, for the multilevel pair, almost surely in the
+    // results — they are distinct engines with distinct seeds).
+    let a = records_to_jsonl(&run_batch_sweep(&backend_config("mondriaan", 2)).unwrap());
+    let b = records_to_jsonl(&run_batch_sweep(&backend_config("patoh", 2)).unwrap());
+    assert_ne!(a, b);
+}
+
 #[test]
 fn cell_results_are_independent_of_the_sweep_shape() {
     // Key-hash seeding: dropping methods and reordering the ε axis must
     // not change any surviving cell's bytes.
     let full: Vec<String> = run_batch_sweep(&smoke_config(4))
+        .unwrap()
         .iter()
         .map(|r| r.json_line())
         .collect();
@@ -53,7 +98,7 @@ fn cell_results_are_independent_of_the_sweep_shape() {
     let mut narrow_cfg = smoke_config(2);
     narrow_cfg.methods = vec![Method::MediumGrain { refine: true }];
     narrow_cfg.epsilons = vec![0.1, 0.03]; // reversed
-    let narrow = run_batch_sweep(&narrow_cfg);
+    let narrow = run_batch_sweep(&narrow_cfg).unwrap();
 
     for record in &narrow {
         let line = record.json_line();
@@ -75,7 +120,7 @@ fn repeated_sweeps_are_byte_identical() {
         c.epsilons = vec![0.03];
         c
     };
-    let a = records_to_jsonl(&run_batch_sweep(&cfg));
-    let b = records_to_jsonl(&run_batch_sweep(&cfg));
+    let a = records_to_jsonl(&run_batch_sweep(&cfg).unwrap());
+    let b = records_to_jsonl(&run_batch_sweep(&cfg).unwrap());
     assert_eq!(a, b);
 }

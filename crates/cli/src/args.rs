@@ -16,6 +16,8 @@ const VALUE_FLAGS: &[&str] = &[
     "-m",
     "-o",
     "--engine",
+    "--backend",
+    "--matrices",
     "--seed",
     "--scale",
     "--threads",
@@ -176,12 +178,18 @@ mod tests {
             "4",
             "--runs",
             "2",
+            "--backend",
+            "geometric",
+            "--matrices",
+            "laplace",
             "--timing",
         ]))
         .unwrap();
         assert_eq!(p.flag("--scale", "default"), "smoke");
         assert_eq!(p.flag_parse("--threads", 0usize).unwrap(), 4);
         assert_eq!(p.flag_parse("--runs", 1u32).unwrap(), 2);
+        assert_eq!(p.flag("--backend", "mondriaan"), "geometric");
+        assert_eq!(p.flag("--matrices", ""), "laplace");
         assert!(p.has("--timing"));
     }
 }

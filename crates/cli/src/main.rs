@@ -15,8 +15,10 @@
 
 use mg_bench::{run_batch_sweep, BatchSweepConfig};
 use mg_collection::{CollectionScale, CollectionSpec};
-use mg_core::{recursive_bisection, Method};
-use mg_partitioner::PartitionerConfig;
+use mg_core::{
+    all_backends, parse_backend, recursive_bisection_backend, Granularity, Method,
+    PartitionBackend, DEFAULT_BACKEND,
+};
 use mg_server::json::obj;
 use mg_server::{serve_stdio, Json, Service, ServiceConfig, TcpServer};
 use mg_sparse::{
@@ -38,6 +40,7 @@ USAGE:
   mgpart analyze   <matrix.mtx>             pattern statistics + spy plot
   mgpart generate  <family> [size]          write a synthetic matrix
   mgpart volume    <distributed.mtx>        metrics of a stored partition
+  mgpart backends                           list registered partition backends
   mgpart sweep     [options]                batched collection sweep (JSON lines)
   mgpart serve     [options]                streaming partition service (JSON lines)
   mgpart request   [ADDR] [options]         build / send one service request
@@ -48,7 +51,8 @@ PARTITION OPTIONS:
   -e EPS        load imbalance (default 0.03)
   -m METHOD     mg | mg-ir | lb | lb-ir | fg | fg-ir | rn | cn  (default mg-ir)
   -o FILE       write the distributed matrix (Mondriaan-style format)
-  --engine E    mondriaan | patoh  (default mondriaan)
+  --backend B   mondriaan | patoh | coarse-grain | geometric  (default mondriaan;
+                --engine is accepted as an alias)
   --seed S      RNG seed (default 2014)
   --spy         render a partition spy plot
 
@@ -58,7 +62,9 @@ SWEEP OPTIONS:
   --runs N      repetitions per (matrix, method, eps) cell  (default 1)
   -m LIST       comma-separated methods  (default lb,lb-ir,mg,mg-ir,fg,fg-ir)
   -e LIST       comma-separated epsilons  (default 0.03)
-  --engine E    mondriaan | patoh  (default mondriaan)
+  --backend B   backend every cell runs on  (default mondriaan)
+  --matrices L  comma-separated name substrings; keep matching matrices only.
+                A filter that matches nothing is an error, not an empty sweep.
   --seed S      master seed; every cell derives its own stream  (default 2014)
   -o FILE       write JSON lines to FILE instead of stdout
   --timing      append mean wall-clock time to each line (non-deterministic)
@@ -66,7 +72,8 @@ SWEEP OPTIONS:
                 (instances of 1024+ nonzeros take the parallel kernels)
 
   Results are bit-identical for any --threads value: each cell is seeded
-  from a stable hash of its (matrix, method, eps) key, not sweep order.
+  from a stable hash of its (backend, matrix, method, eps) key, not sweep
+  order.
 
 SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
   --listen ADDR TCP listen address (e.g. 127.0.0.1:7077; port 0 = ephemeral);
@@ -76,7 +83,8 @@ SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
   --queue N     bounded submission queue; full = backpressure  (default 256)
   --cache N     LRU response-cache entries, 0 = off  (default 128)
   --seed S      master seed for requests without one  (default 2014)
-  --engine E    mondriaan | patoh  (default mondriaan)
+  --backend B   default backend for requests without a \"backend\" field
+                (default mondriaan)
   --collection-scale S   collection served to {\"collection\": name} requests
                          (smoke | default | large, default smoke)
   --collection-seed S    seed of that collection  (default 11)
@@ -89,6 +97,7 @@ REQUEST OPTIONS:
   --inline      convert --mtx FILE to inline COO triplets (exercises the
                 third payload kind)
   -m METHOD     method name  (default mg-ir)
+  --backend B   request an explicit backend  (omitted = server default)
   -e EPS        load imbalance  (default 0.03)
   --seed S      request seed (optional)
   --id ID       correlation id echoed by the server
@@ -125,6 +134,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => analyze(&Parsed::parse(&argv[1..])?),
         "generate" => generate(&Parsed::parse(&argv[1..])?),
         "volume" => volume(&Parsed::parse(&argv[1..])?),
+        "backends" => backends(),
         "sweep" => sweep(&Parsed::parse(&argv[1..])?),
         "serve" => serve(&Parsed::parse(&argv[1..])?),
         "request" => request(&Parsed::parse(&argv[1..])?),
@@ -145,12 +155,39 @@ fn scale_from_name(name: &str) -> Result<CollectionScale, String> {
     })
 }
 
-fn engine_from_name(name: &str) -> Result<PartitionerConfig, String> {
-    Ok(match name {
-        "mondriaan" => PartitionerConfig::mondriaan_like(),
-        "patoh" => PartitionerConfig::patoh_like(),
-        other => return Err(format!("unknown engine {other:?}")),
-    })
+/// Resolves the requested backend: `--backend` is the canonical flag,
+/// `--engine` the historical alias (the two original backends *are* the
+/// old engine presets, so every old invocation keeps working).
+fn backend_from_flags(parsed: &Parsed) -> Result<&'static dyn PartitionBackend, String> {
+    let name = parsed
+        .flag_opt("--backend")
+        .or_else(|| parsed.flag_opt("--engine"))
+        .unwrap_or_else(|| DEFAULT_BACKEND.to_string());
+    parse_backend(&name)
+}
+
+fn backends() -> Result<(), String> {
+    println!(
+        "{:<14} {:<12} {:<7} {:<6} {:<5} description",
+        "name", "granularity", "model", "seed", "geom"
+    );
+    for backend in all_backends() {
+        let caps = backend.capabilities();
+        println!(
+            "{:<14} {:<12} {:<7} {:<6} {:<5} {}",
+            backend.name(),
+            match caps.granularity {
+                Granularity::Nonzero => "nonzero",
+                Granularity::RowOrColumn => "row/column",
+            },
+            if caps.honors_model { "full" } else { "ir-only" },
+            caps.seed_sensitive,
+            caps.uses_geometry,
+            backend.description()
+        );
+    }
+    println!("\ndefault: {DEFAULT_BACKEND}");
+    Ok(())
 }
 
 fn partition(parsed: &Parsed) -> Result<(), String> {
@@ -159,29 +196,29 @@ fn partition(parsed: &Parsed) -> Result<(), String> {
     let p: Idx = parsed.flag_parse("-p", 2)?;
     let epsilon: f64 = parsed.flag_parse("-e", 0.03)?;
     let method = Method::parse_name(&parsed.flag("-m", "mg-ir"))?;
-    let engine = engine_from_name(&parsed.flag("--engine", "mondriaan"))?;
+    let backend = backend_from_flags(parsed)?;
     let seed: u64 = parsed.flag_parse("--seed", 2014)?;
     if p < 1 {
         return Err("-p must be at least 1".into());
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
     let start = std::time::Instant::now();
     let partition = if p == 2 {
-        method.bipartition(&a, epsilon, &engine, &mut rng).partition
+        backend.bipartition(&a, method, epsilon, seed).partition
     } else {
-        recursive_bisection(&a, p, epsilon, method, &engine, &mut rng).partition
+        recursive_bisection_backend(&a, p, epsilon, method, backend, seed).partition
     };
     let elapsed = start.elapsed().as_secs_f64();
 
     let report = CommunicationReport::compute(&a, &partition);
     let cost = bsp_cost(&a, &partition);
     println!(
-        "{path}: {}x{}, {} nonzeros -> {p} parts with {} in {elapsed:.3}s",
+        "{path}: {}x{}, {} nonzeros -> {p} parts with {} on {} in {elapsed:.3}s",
         a.rows(),
         a.cols(),
         a.nnz(),
-        method.label()
+        method.label(),
+        backend.name()
     );
     println!("  {}", report.render());
     println!(
@@ -266,7 +303,7 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     let threads: usize = parsed.flag_parse("--threads", 0)?;
     let runs: u32 = parsed.flag_parse("--runs", 1)?;
     let seed: u64 = parsed.flag_parse("--seed", 2014)?;
-    let engine = engine_from_name(&parsed.flag("--engine", "mondriaan"))?;
+    let backend = backend_from_flags(parsed)?;
     let methods: Vec<Method> = match parsed.flag_opt("-m") {
         None => Method::paper_set().to_vec(),
         Some(list) => list
@@ -292,16 +329,26 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     if methods.is_empty() || epsilons.is_empty() {
         return Err("sweep needs at least one method and one epsilon".into());
     }
+    let matrices: Option<Vec<String>> = parsed.flag_opt("--matrices").map(|list| {
+        list.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    });
 
-    let mut config = BatchSweepConfig::paper(CollectionSpec { seed, scale }, engine, runs);
+    let mut config = BatchSweepConfig::paper(CollectionSpec { seed, scale }, backend.name(), runs);
     config.methods = methods;
     config.epsilons = epsilons;
+    config.matrices = matrices;
     config.seed = seed;
     config.threads = threads;
     config.verify = parsed.has("--verify");
 
     let start = std::time::Instant::now();
-    let records = run_batch_sweep(&config);
+    // A sweep that expands to zero jobs (e.g. a --matrices filter that
+    // matches nothing) is a typed setup error and a nonzero exit — never
+    // a silent empty success.
+    let records = run_batch_sweep(&config).map_err(|e| e.to_string())?;
     let timing = parsed.has("--timing");
     let mut out = String::new();
     for record in &records {
@@ -338,7 +385,7 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
         queue_capacity: parsed.flag_parse("--queue", 256usize)?,
         cache_capacity: parsed.flag_parse("--cache", 128usize)?,
         master_seed: parsed.flag_parse("--seed", 2014u64)?,
-        engine: engine_from_name(&parsed.flag("--engine", "mondriaan"))?,
+        default_backend: backend_from_flags(parsed)?.name(),
         collection: CollectionSpec {
             seed: parsed.flag_parse("--collection-seed", 11u64)?,
             scale: scale_from_name(&parsed.flag("--collection-scale", "smoke"))?,
@@ -413,6 +460,13 @@ fn request(parsed: &Parsed) -> Result<(), String> {
             fields.push(("matrix", matrix));
             let method = Method::parse_name(&parsed.flag("-m", "mg-ir"))?;
             fields.push(("method", Json::Str(method.name().into())));
+            if let Some(name) = parsed
+                .flag_opt("--backend")
+                .or_else(|| parsed.flag_opt("--engine"))
+            {
+                let backend = parse_backend(&name)?;
+                fields.push(("backend", Json::Str(backend.name().into())));
+            }
             fields.push(("epsilon", Json::Num(parsed.flag_parse("-e", 0.03)?)));
             if let Some(seed) = parsed.flag_opt("--seed") {
                 let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `mgpart` binary: backend selection on the
+//! sweep path, the typed empty-sweep failure (nonzero exit), and the
+//! backend registry listing.
+
+use std::process::{Command, Output};
+
+fn mgpart(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mgpart"))
+        .args(args)
+        .output()
+        .expect("spawning mgpart")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A small, fast sweep: one matrix (name filter), one cheap method.
+fn narrow_sweep(extra: &[&str]) -> Vec<String> {
+    let mut args = vec![
+        "sweep",
+        "--scale",
+        "smoke",
+        "--matrices",
+        "laplace2d_00",
+        "-m",
+        "mg",
+    ];
+    args.extend_from_slice(extra);
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_narrow_sweep(extra: &[&str]) -> Output {
+    let args = narrow_sweep(extra);
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    mgpart(&refs)
+}
+
+#[test]
+fn empty_sweeps_exit_nonzero_with_a_typed_error() {
+    let out = run_narrow_sweep(&["--matrices", "no_such_matrix_anywhere"]);
+    assert!(
+        !out.status.success(),
+        "an empty sweep must not exit 0 (stdout: {})",
+        stdout(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("empty sweep"), "stderr: {err}");
+    assert!(
+        stdout(&out).is_empty(),
+        "an empty sweep must not emit records"
+    );
+}
+
+#[test]
+fn unknown_backends_exit_nonzero_and_list_the_registry() {
+    let out = run_narrow_sweep(&["--backend", "hmetis"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown backend"), "stderr: {err}");
+    assert!(err.contains("coarse-grain"), "stderr lists names: {err}");
+}
+
+#[test]
+fn sweep_records_carry_the_selected_backend() {
+    let out = run_narrow_sweep(&["--backend", "geometric"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let body = stdout(&out);
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        assert!(
+            line.contains("\"backend\":\"geometric\""),
+            "record missing backend: {line}"
+        );
+    }
+}
+
+#[test]
+fn engine_flag_remains_an_alias_for_backend() {
+    let with_engine = run_narrow_sweep(&["--engine", "patoh"]);
+    let with_backend = run_narrow_sweep(&["--backend", "patoh"]);
+    assert!(
+        with_engine.status.success(),
+        "stderr: {}",
+        stderr(&with_engine)
+    );
+    assert_eq!(stdout(&with_engine), stdout(&with_backend));
+    assert!(stdout(&with_engine).contains("\"backend\":\"patoh\""));
+}
+
+#[test]
+fn backend_sweeps_are_byte_identical_across_thread_counts() {
+    let baseline = run_narrow_sweep(&["--backend", "coarse-grain", "--threads", "1"]);
+    assert!(baseline.status.success(), "stderr: {}", stderr(&baseline));
+    let four = run_narrow_sweep(&["--backend", "coarse-grain", "--threads", "4"]);
+    assert_eq!(stdout(&baseline), stdout(&four));
+}
+
+#[test]
+fn backends_listing_names_every_registered_backend() {
+    let out = mgpart(&["backends"]);
+    assert!(out.status.success());
+    let body = stdout(&out);
+    for name in ["mondriaan", "patoh", "coarse-grain", "geometric"] {
+        assert!(body.contains(name), "missing {name}: {body}");
+    }
+    assert!(body.contains("default: mondriaan"));
+}

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// One (matrix × method × ε) cell of a sweep.
+/// One (matrix × method × ε) cell of a sweep, run on a named backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
     /// Position in the canonical job order (matrix-major, then method,
@@ -31,13 +31,18 @@ pub struct BatchJob {
     pub method_index: usize,
     /// Index of the ε value.
     pub epsilon_index: usize,
+    /// Canonical backend name (part of the seed key): cells run on
+    /// different engines draw independent RNG streams, so adding a
+    /// backend to a campaign cannot perturb any existing cell.
+    pub backend: String,
     /// Matrix name (part of the seed key).
     pub matrix: String,
     /// Method label (part of the seed key).
     pub method: String,
     /// Load-imbalance parameter (part of the seed key).
     pub epsilon: f64,
-    /// Stable per-job seed: [`job_seed`] of the (matrix, method, ε) key.
+    /// Stable per-job seed: [`job_seed`] of the (backend, matrix, method,
+    /// ε) key.
     pub seed: u64,
 }
 
@@ -48,14 +53,21 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The stable seed of a sweep cell: FNV-1a over the (matrix, method, ε)
-/// key folded with the master seed. Depends only on the key, never on
-/// where the cell sits in the job list.
-pub fn job_seed(master: u64, matrix: &str, method: &str, epsilon: f64) -> u64 {
+/// The stable seed of a sweep cell: FNV-1a over the (backend, matrix,
+/// method, ε) key folded with the master seed. Depends only on the key,
+/// never on where the cell sits in the job list.
+pub fn job_seed(master: u64, backend: &str, matrix: &str, method: &str, epsilon: f64) -> u64 {
     const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut h = FNV_OFFSET;
-    for chunk in [matrix.as_bytes(), &[0xFF], method.as_bytes(), &[0xFF]] {
+    for chunk in [
+        backend.as_bytes(),
+        &[0xFF],
+        matrix.as_bytes(),
+        &[0xFF],
+        method.as_bytes(),
+        &[0xFF],
+    ] {
         for &b in chunk {
             h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
         }
@@ -72,8 +84,9 @@ pub fn run_seed(job: &BatchJob, run: u32) -> u64 {
 }
 
 /// Expands the (matrix × method × ε) cross product into the canonical job
-/// list: matrix-major, then method, then ε.
+/// list for one `backend`: matrix-major, then method, then ε.
 pub fn expand_jobs(
+    backend: &str,
     matrices: &[String],
     methods: &[String],
     epsilons: &[f64],
@@ -88,10 +101,11 @@ pub fn expand_jobs(
                     matrix_index,
                     method_index,
                     epsilon_index,
+                    backend: backend.to_string(),
                     matrix: matrix.clone(),
                     method: method.clone(),
                     epsilon,
-                    seed: job_seed(master_seed, matrix, method, epsilon),
+                    seed: job_seed(master_seed, backend, matrix, method, epsilon),
                 });
             }
         }
@@ -290,10 +304,11 @@ mod tests {
 
     #[test]
     fn expansion_covers_the_cross_product_in_canonical_order() {
-        let jobs = expand_jobs(&names("m", 3), &names("M", 2), &[0.03, 0.1], 7);
+        let jobs = expand_jobs("be", &names("m", 3), &names("M", 2), &[0.03, 0.1], 7);
         assert_eq!(jobs.len(), 12);
         for (i, job) in jobs.iter().enumerate() {
             assert_eq!(job.index, i);
+            assert_eq!(job.backend, "be");
         }
         // Matrix-major, then method, then epsilon.
         assert_eq!(jobs[0].matrix, "m0");
@@ -304,10 +319,16 @@ mod tests {
 
     #[test]
     fn seeds_depend_on_the_key_not_the_sweep_order() {
-        let full = expand_jobs(&names("m", 3), &names("M", 3), &[0.03, 0.1], 42);
+        let full = expand_jobs("be", &names("m", 3), &names("M", 3), &[0.03, 0.1], 42);
         // The same cell in a smaller sweep (fewer matrices, one method,
         // reversed epsilons) must get the same seed.
-        let partial = expand_jobs(&["m2".to_string()], &["M1".to_string()], &[0.1, 0.03], 42);
+        let partial = expand_jobs(
+            "be",
+            &["m2".to_string()],
+            &["M1".to_string()],
+            &[0.1, 0.03],
+            42,
+        );
         let cell = full
             .iter()
             .find(|j| j.matrix == "m2" && j.method == "M1" && j.epsilon == 0.1)
@@ -315,14 +336,14 @@ mod tests {
         assert_eq!(cell.seed, partial[0].seed);
         assert_eq!(
             cell.seed,
-            job_seed(42, "m2", "M1", 0.1),
+            job_seed(42, "be", "m2", "M1", 0.1),
             "seed must be reproducible from the key alone"
         );
     }
 
     #[test]
     fn distinct_keys_get_distinct_seeds() {
-        let jobs = expand_jobs(&names("m", 4), &names("M", 3), &[0.01, 0.03, 0.1], 9);
+        let jobs = expand_jobs("be", &names("m", 4), &names("M", 3), &[0.01, 0.03, 0.1], 9);
         let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
@@ -330,8 +351,18 @@ mod tests {
     }
 
     #[test]
+    fn distinct_backends_draw_independent_streams() {
+        let a = job_seed(7, "mondriaan", "m0", "MG", 0.03);
+        let b = job_seed(7, "patoh", "m0", "MG", 0.03);
+        let c = job_seed(7, "geometric", "m0", "MG", 0.03);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
     fn run_seed_streams_are_distinct_per_run() {
-        let jobs = expand_jobs(&names("m", 1), &names("M", 1), &[0.03], 1);
+        let jobs = expand_jobs("be", &names("m", 1), &names("M", 1), &[0.03], 1);
         let a = run_seed(&jobs[0], 0);
         let b = run_seed(&jobs[0], 1);
         assert_ne!(a, b);

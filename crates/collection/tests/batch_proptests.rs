@@ -43,7 +43,7 @@ proptest! {
         let names: Vec<String> = (0..matrices).map(|i| format!("m{i}")).collect();
         let labels: Vec<String> = (0..methods).map(|i| format!("M{i}")).collect();
         let eps: Vec<f64> = (1..=epsilons).map(|i| i as f64 / 100.0).collect();
-        let jobs = expand_jobs(&names, &labels, &eps, master);
+        let jobs = expand_jobs("backend", &names, &labels, &eps, master);
         prop_assert_eq!(jobs.len(), matrices * methods * epsilons);
         // Every cell appears exactly once and carries the seed of its key.
         let mut seen = std::collections::HashSet::new();
@@ -55,7 +55,7 @@ proptest! {
             );
             prop_assert_eq!(
                 job.seed,
-                job_seed(master, &job.matrix, &job.method, job.epsilon)
+                job_seed(master, &job.backend, &job.matrix, &job.method, job.epsilon)
             );
         }
     }

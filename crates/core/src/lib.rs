@@ -17,11 +17,16 @@
 //!   post-processing step applicable to *any* bipartitioning;
 //! * [`methods`] — a single [`Method`] enum tying all of the above into one
 //!   API (what the experiment harness sweeps over);
+//! * [`backend`] — the pluggable engine seam: a [`PartitionBackend`] trait
+//!   with a registry of named engines (the two multilevel presets plus a
+//!   coarse-grain 1D baseline and a geometric coordinate-bisection
+//!   backend), which every layer above selects by canonical name;
 //! * [`recursive`] — recursive bisection to `p` parts with a per-level
 //!   imbalance budget (Table II's p = 64 experiments);
 //! * [`service`] — transport-agnostic request/response types of the
 //!   streaming partition service (`mgpart serve`, crate `mg-server`).
 
+pub mod backend;
 pub mod baselines;
 pub mod bmatrix;
 pub mod full_iterative;
@@ -34,6 +39,10 @@ pub mod refine;
 pub mod service;
 pub mod split;
 
+pub use backend::{
+    all_backends, backend_names, parse_backend, BackendCapabilities, Granularity, PartitionBackend,
+    DEFAULT_BACKEND,
+};
 pub use bmatrix::MediumGrainModel;
 pub use full_iterative::{medium_grain_full_iterative, FullIterativeOptions};
 pub use kway::{kway_refine, KwayOutcome};
@@ -43,7 +52,7 @@ pub use parallel::{
     parallel_communication_volume, parallel_split_with_preference, sharded_split, sharded_volume,
     ShardPolicy,
 };
-pub use recursive::{recursive_bisection, MultiwayResult};
+pub use recursive::{recursive_bisection, recursive_bisection_backend, MultiwayResult};
 pub use refine::{iterative_refinement, RefineOptions};
 pub use service::{
     matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, PartitionSpec, RequestOp,

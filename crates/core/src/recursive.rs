@@ -11,6 +11,7 @@
 //! constraint satisfied up to the integer rounding inherent in splitting
 //! odd nonzero counts.
 
+use crate::backend::PartitionBackend;
 use crate::methods::{BipartitionResult, Method};
 use mg_partitioner::{BisectionTargets, PartitionerConfig};
 use mg_sparse::{communication_volume, Coo, Idx, NonzeroPartition};
@@ -35,23 +36,67 @@ pub fn recursive_bisection<R: Rng>(
     config: &PartitionerConfig,
     rng: &mut R,
 ) -> MultiwayResult {
+    run_recursion(
+        a,
+        p,
+        epsilon,
+        &mut |sub, targets, _first_part, _num_parts| {
+            method.bipartition_with_targets(sub, targets, config, rng)
+        },
+    )
+}
+
+/// Partitions `a` into `p` parts through a [`PartitionBackend`], the
+/// seam every backend of the registry supports (the direct backends take
+/// uneven targets natively; the multilevel ones route through
+/// [`Method::bipartition_with_targets`]).
+///
+/// Backends are seeded per bisection node — a stable mix of `seed` with
+/// the node's `(first_part, num_parts)` identity — so the p-way result is
+/// a pure function of `(a, p, ε, method, backend, seed)`, independent of
+/// recursion order.
+pub fn recursive_bisection_backend(
+    a: &Coo,
+    p: Idx,
+    epsilon: f64,
+    method: Method,
+    backend: &dyn PartitionBackend,
+    seed: u64,
+) -> MultiwayResult {
+    run_recursion(a, p, epsilon, &mut |sub, targets, first_part, num_parts| {
+        backend.bipartition_with_targets(
+            sub,
+            method,
+            targets,
+            node_seed(seed, first_part, num_parts),
+        )
+    })
+}
+
+/// Derives one bisection node's seed from the master seed and the node
+/// identity.
+fn node_seed(seed: u64, first_part: Idx, num_parts: Idx) -> u64 {
+    crate::backend::splitmix(seed ^ (u64::from(first_part) << 32) ^ u64::from(num_parts))
+}
+
+/// The shared recursion driver: `bipartition(sub, targets, first_part,
+/// num_parts)` supplies one bisection of a sub-matrix, everything else —
+/// per-level ε budget, uneven child part counts, sub-matrix extraction,
+/// side splitting — is common to the RNG-threaded and the node-seeded
+/// backend entry points.
+fn run_recursion(
+    a: &Coo,
+    p: Idx,
+    epsilon: f64,
+    bipartition: &mut dyn FnMut(&Coo, &BisectionTargets, Idx, Idx) -> BipartitionResult,
+) -> MultiwayResult {
     assert!(p >= 1, "need at least one part");
     let levels = (p as f64).log2().ceil().max(1.0);
     let epsilon_level = (1.0 + epsilon).powf(1.0 / levels) - 1.0;
 
     let mut parts = vec![0 as Idx; a.nnz()];
     let all_ids: Vec<Idx> = (0..a.nnz() as Idx).collect();
-    bisect_rec(
-        a,
-        &all_ids,
-        0,
-        p,
-        epsilon_level,
-        method,
-        config,
-        rng,
-        &mut parts,
-    );
+    bisect_rec(a, &all_ids, 0, p, epsilon_level, bipartition, &mut parts);
     let partition = NonzeroPartition::new(p, parts).expect("parts stay in range");
     let volume = communication_volume(a, &partition);
     MultiwayResult { partition, volume }
@@ -59,16 +104,13 @@ pub fn recursive_bisection<R: Rng>(
 
 /// Recursively assigns part ids `first_part .. first_part + num_parts` to
 /// the nonzeros `ids` (canonical ids into `a`).
-#[allow(clippy::too_many_arguments)]
-fn bisect_rec<R: Rng>(
+fn bisect_rec(
     a: &Coo,
     ids: &[Idx],
     first_part: Idx,
     num_parts: Idx,
     epsilon_level: f64,
-    method: Method,
-    config: &PartitionerConfig,
-    rng: &mut R,
+    bipartition: &mut dyn FnMut(&Coo, &BisectionTargets, Idx, Idx) -> BipartitionResult,
     parts: &mut [Idx],
 ) {
     if num_parts == 1 || ids.is_empty() {
@@ -93,8 +135,7 @@ fn bisect_rec<R: Rng>(
         target: [target0, nnz - target0],
         epsilon: epsilon_level,
     };
-    let BipartitionResult { partition, .. } =
-        method.bipartition_with_targets(&sub, &targets, config, rng);
+    let BipartitionResult { partition, .. } = bipartition(&sub, &targets, first_part, num_parts);
 
     let mut side0: Vec<Idx> = Vec::with_capacity(target0 as usize);
     let mut side1: Vec<Idx> = Vec::new();
@@ -105,26 +146,14 @@ fn bisect_rec<R: Rng>(
             side1.push(k);
         }
     }
-    bisect_rec(
-        a,
-        &side0,
-        first_part,
-        p0,
-        epsilon_level,
-        method,
-        config,
-        rng,
-        parts,
-    );
+    bisect_rec(a, &side0, first_part, p0, epsilon_level, bipartition, parts);
     bisect_rec(
         a,
         &side1,
         first_part + p0,
         p1,
         epsilon_level,
-        method,
-        config,
-        rng,
+        bipartition,
         parts,
     );
 }
@@ -221,6 +250,43 @@ mod tests {
         let budget = ((1.0 + 0.1) * a.nnz() as f64 / 3.0).floor() as u64;
         // Generous slack for rounding: each part within ~1.1x budget.
         assert!(sizes.iter().all(|&s| s <= budget + budget / 8));
+    }
+
+    #[test]
+    fn every_backend_supports_recursive_bisection() {
+        let a = mg_sparse::gen::laplacian_2d(16, 16);
+        for backend in crate::backend::all_backends() {
+            for p in [3 as Idx, 4] {
+                let r = recursive_bisection_backend(
+                    &a,
+                    p,
+                    0.1,
+                    Method::MediumGrain { refine: false },
+                    backend,
+                    9,
+                );
+                assert_eq!(r.partition.num_parts(), p, "{}", backend.name());
+                r.partition.check_against(&a).unwrap();
+                let sizes = r.partition.part_sizes();
+                assert!(
+                    sizes.iter().all(|&s| s > 0),
+                    "{} p={p}: empty part {sizes:?}",
+                    backend.name()
+                );
+                assert_eq!(r.volume, communication_volume(&a, &r.partition));
+            }
+        }
+    }
+
+    #[test]
+    fn backend_recursion_is_deterministic_in_its_seed() {
+        let a = mg_sparse::gen::laplacian_2d(12, 12);
+        let backend = crate::backend::parse_backend("patoh").unwrap();
+        let m = Method::MediumGrain { refine: true };
+        let x = recursive_bisection_backend(&a, 4, 0.03, m, backend, 77);
+        let y = recursive_bisection_backend(&a, 4, 0.03, m, backend, 77);
+        assert_eq!(x.partition.parts(), y.partition.parts());
+        assert_eq!(x.volume, y.volume);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub struct PartitionSpec {
     pub matrix: MatrixPayload,
     /// Bipartitioning method.
     pub method: Method,
+    /// Requested engine: the canonical name of a registered
+    /// [`crate::backend`] backend, resolved at decode time (so an unknown
+    /// name fails the request with `unknown_backend` before anything is
+    /// queued). `None` uses the server's default backend.
+    pub backend: Option<&'static str>,
     /// Load-imbalance parameter ε of eqn (1).
     pub epsilon: f64,
     /// Optional client seed folded into the job-key hash; `None` uses the
@@ -73,6 +78,8 @@ pub struct PartitionOutcome {
     pub nnz: usize,
     /// Content fingerprint of the matrix ([`matrix_fingerprint`]).
     pub fingerprint: u64,
+    /// Canonical backend name the job ran on (`mondriaan`, …).
+    pub backend: &'static str,
     /// Canonical method name (`mg-ir`, …).
     pub method: &'static str,
     /// Load-imbalance parameter the job ran with.
@@ -108,6 +115,8 @@ pub enum ErrorCode {
     /// The matrix payload does not decode (bad COO bounds, malformed
     /// Matrix Market text, …).
     BadMatrix,
+    /// The `backend` field names no registered partition backend.
+    UnknownBackend,
     /// The named collection matrix does not exist.
     UnknownCollection,
     /// The server is draining and no longer accepts new work.
@@ -124,6 +133,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::BadMethod => "bad_method",
             ErrorCode::BadMatrix => "bad_matrix",
+            ErrorCode::UnknownBackend => "unknown_backend",
             ErrorCode::UnknownCollection => "unknown_collection",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Unsupported => "unsupported",
@@ -195,6 +205,7 @@ mod tests {
     #[test]
     fn error_codes_have_stable_wire_spellings() {
         assert_eq!(ErrorCode::BadJson.as_str(), "bad_json");
+        assert_eq!(ErrorCode::UnknownBackend.as_str(), "unknown_backend");
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting_down");
     }
 }

@@ -94,6 +94,21 @@ impl PartitionerConfig {
     }
 }
 
+impl PartitionerConfig {
+    /// Resolves a preset by canonical name (`mondriaan` / `patoh`).
+    /// The engine-construction seam the backend registry builds on: a
+    /// backend that wraps the multilevel partitioner names its preset
+    /// here instead of hard-coding a constructor, and the registry in
+    /// `mg_core::backend` is the single authority for which names exist.
+    pub fn preset(name: &str) -> Option<PartitionerConfig> {
+        match name {
+            "mondriaan" => Some(PartitionerConfig::mondriaan_like()),
+            "patoh" => Some(PartitionerConfig::patoh_like()),
+            _ => None,
+        }
+    }
+}
+
 impl Default for PartitionerConfig {
     fn default() -> Self {
         Self::mondriaan_like()
@@ -117,5 +132,17 @@ mod tests {
     fn default_is_mondriaan_like() {
         let d = PartitionerConfig::default();
         assert_eq!(d.coarsest_vertices, 200);
+    }
+
+    #[test]
+    fn presets_resolve_by_canonical_name() {
+        for name in ["mondriaan", "patoh"] {
+            assert!(PartitionerConfig::preset(name).is_some(), "{name}");
+        }
+        assert!(PartitionerConfig::preset("hmetis").is_none());
+        assert_eq!(
+            PartitionerConfig::preset("patoh").unwrap().coarsening,
+            CoarseningScheme::Agglomerative
+        );
     }
 }

@@ -109,6 +109,22 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
     let method = Method::parse_name(&method_name)
         .map_err(|e| RequestError::new(&id, ErrorCode::BadMethod, e))?;
 
+    let backend = match doc.get("backend") {
+        None => None,
+        Some(Json::Str(s)) => Some(
+            mg_core::parse_backend(s)
+                .map_err(|e| RequestError::new(&id, ErrorCode::UnknownBackend, e))?
+                .name(),
+        ),
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"backend\" must be a string",
+            ))
+        }
+    };
+
     let epsilon = match doc.get("epsilon") {
         None => DEFAULT_EPSILON,
         Some(v) => match v.as_f64() {
@@ -159,6 +175,7 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
         spec: Some(PartitionSpec {
             matrix,
             method,
+            backend,
             epsilon,
             seed,
             include_partition,
@@ -291,6 +308,7 @@ pub fn ok_response(
                 ),
             ]),
         ),
+        ("backend", Json::Str(outcome.backend.into())),
         ("method", Json::Str(outcome.method.into())),
         ("epsilon", Json::Num(outcome.epsilon)),
         ("seed", Json::UInt(outcome.seed)),
@@ -377,6 +395,7 @@ mod tests {
         assert_eq!(r.op, RequestOp::Partition);
         let spec = r.spec.unwrap();
         assert_eq!(spec.method, Method::MediumGrain { refine: true });
+        assert_eq!(spec.backend, None, "no backend field means server default");
         assert_eq!(spec.epsilon, DEFAULT_EPSILON);
         assert_eq!(spec.seed, None);
         assert!(!spec.include_partition);
@@ -413,6 +432,38 @@ mod tests {
     }
 
     #[test]
+    fn decodes_the_backend_field_through_the_registry() {
+        for (raw, canonical) in [
+            ("geometric", "geometric"),
+            ("coarse_grain", "coarse-grain"),
+            ("PATOH", "patoh"),
+        ] {
+            let r = parse_request_line(&format!(
+                r#"{{"matrix":{{"rows":2,"cols":2,"entries":[[0,0]]}},"backend":"{raw}"}}"#
+            ))
+            .unwrap();
+            assert_eq!(r.spec.unwrap().backend, Some(canonical), "{raw}");
+        }
+    }
+
+    #[test]
+    fn unknown_backends_fail_with_their_own_code() {
+        let err = parse_request_line(
+            r#"{"id":9,"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"backend":"hmetis"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownBackend);
+        assert!(err.message.contains("hmetis"), "{}", err.message);
+        assert!(
+            err.message.contains("coarse-grain"),
+            "message lists the registry: {}",
+            err.message
+        );
+        let line = error_response(&err.id, err.code, &err.message);
+        assert!(line.contains("\"code\":\"unknown_backend\""));
+    }
+
+    #[test]
     fn decodes_ops_without_matrices() {
         for (op, expected) in [
             ("ping", RequestOp::Ping),
@@ -435,6 +486,10 @@ mod tests {
             (
                 r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"method":"zz"}"#,
                 ErrorCode::BadMethod,
+            ),
+            (
+                r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"backend":7}"#,
+                ErrorCode::BadRequest,
             ),
             (
                 r#"{"matrix":{"rows":2,"cols":2,"entries":[[0,0]]},"epsilon":-1}"#,
@@ -480,6 +535,7 @@ mod tests {
             cols: 3,
             nnz: 4,
             fingerprint: 0xAB,
+            backend: "mondriaan",
             method: "mg-ir",
             epsilon: 0.03,
             seed: 99,
@@ -494,6 +550,7 @@ mod tests {
             line,
             "{\"id\":5,\"status\":\"ok\",\
              \"matrix\":{\"rows\":2,\"cols\":3,\"nnz\":4,\"fingerprint\":\"00000000000000ab\"},\
+             \"backend\":\"mondriaan\",\
              \"method\":\"mg-ir\",\"epsilon\":0.03,\"seed\":99,\"volume\":1,\"imbalance\":0,\
              \"ir_iterations\":2,\"part_nnz\":[2,2],\"cached\":false}"
         );

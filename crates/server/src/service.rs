@@ -14,9 +14,9 @@
 //! ## Determinism
 //!
 //! Every job's RNG stream is seeded with [`mg_collection::job_seed`] over
-//! the (matrix fingerprint, method, ε) key folded with the request seed —
-//! never from scheduling state — so a response's payload is a pure
-//! function of the request. The `cached` flag is decided at *submission
+//! the (backend, matrix fingerprint, method, ε) key folded with the
+//! request seed — never from scheduling state — so a response's payload
+//! is a pure function of the request. The `cached` flag is decided at *submission
 //! time* in stream order (completed key → cache hit; in-flight key →
 //! follower of the running job; fresh key → new job), which makes a
 //! single session's response bytes identical at any `--threads` count,
@@ -37,11 +37,8 @@ use crate::json::Json;
 use crate::protocol;
 use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
 use mg_core::service::{matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, RequestOp};
-use mg_core::Method;
-use mg_partitioner::PartitionerConfig;
+use mg_core::{parse_backend, Method, PartitionBackend, DEFAULT_BACKEND};
 use mg_sparse::{io, load_imbalance, Coo};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,8 +59,9 @@ pub struct ServiceConfig {
     /// Master seed folded into every job-key hash when a request carries
     /// no seed of its own.
     pub master_seed: u64,
-    /// Partitioner engine preset used for every job.
-    pub engine: PartitionerConfig,
+    /// Canonical name of the backend used for requests without a
+    /// `backend` field (must be registered in [`mg_core::backend`]).
+    pub default_backend: &'static str,
     /// The deterministic collection served for `{"collection": name}`
     /// payloads (generated lazily on first use).
     pub collection: CollectionSpec,
@@ -79,16 +77,21 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 128,
             master_seed: 2014,
-            engine: PartitionerConfig::mondriaan_like(),
+            default_backend: DEFAULT_BACKEND,
             collection: CollectionSpec::default(),
             timing: false,
         }
     }
 }
 
-/// (matrix fingerprint, method, ε bits, request seed base,
+/// (matrix fingerprint, backend, method, ε bits, request seed base,
 /// include_partition) — the identity of a job for caching and in-flight
 /// coalescing.
+///
+/// The backend is the *effective* canonical name (request field or server
+/// default), so the same matrix partitioned on two engines occupies two
+/// cache entries, and the key stays fingerprint-compatible: requests
+/// agree on a key iff they agree on every result-determining input.
 ///
 /// `include_partition` is part of the key so that plain requests and
 /// full-assignment requests never coalesce: cache entries for plain keys
@@ -97,13 +100,15 @@ impl Default for ServiceConfig {
 /// keeping the two shapes apart keeps the `cached` flag a pure function
 /// of the submission stream. The RNG seed ignores the flag
 /// ([`seed_of`]), so both shapes report identical volumes and seeds.
-type CacheKey = (u64, Method, u64, u64, bool);
+type CacheKey = (u64, &'static str, Method, u64, u64, bool);
 
 /// Completion callback: `(outcome, cached, compute_seconds)`.
 type Deliver = Box<dyn FnOnce(Arc<PartitionOutcome>, bool, f64) + Send>;
 
 struct EngineJob {
     key: CacheKey,
+    /// Resolved once at submission; workers never re-parse the name.
+    backend: &'static dyn PartitionBackend,
     matrix: Arc<Coo>,
     deliver: Deliver,
 }
@@ -143,7 +148,13 @@ impl Engine {
         self.inner.lock().expect("engine mutex poisoned")
     }
 
-    fn submit(&self, key: CacheKey, matrix: Arc<Coo>, deliver: Deliver) -> SubmitOutcome {
+    fn submit(
+        &self,
+        key: CacheKey,
+        backend: &'static dyn PartitionBackend,
+        matrix: Arc<Coo>,
+        deliver: Deliver,
+    ) -> SubmitOutcome {
         let mut inner = self.lock();
         loop {
             if inner.shutdown {
@@ -166,6 +177,7 @@ impl Engine {
             inner.inflight.insert(key, Vec::new());
             inner.queue.push_back(EngineJob {
                 key,
+                backend,
                 matrix,
                 deliver,
             });
@@ -221,14 +233,13 @@ impl Engine {
 /// Executes one job. Pure: the result depends only on the arguments.
 fn execute(
     matrix: &Coo,
+    backend: &'static dyn PartitionBackend,
     method: Method,
     epsilon: f64,
     seed: u64,
-    engine: &PartitionerConfig,
     fingerprint: u64,
 ) -> PartitionOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let result = method.bipartition(matrix, epsilon, engine, &mut rng);
+    let result = backend.bipartition(matrix, method, epsilon, seed);
     let mut part_nnz = [0u64; 2];
     for (p, &size) in result.partition.part_sizes().iter().take(2).enumerate() {
         part_nnz[p] = size;
@@ -243,6 +254,7 @@ fn execute(
         cols: matrix.cols(),
         nnz: matrix.nnz(),
         fingerprint,
+        backend: backend.name(),
         method: method.name(),
         epsilon,
         seed,
@@ -277,9 +289,10 @@ fn dispatcher_loop(engine: &Engine) {
         engine.space.notify_all();
 
         let mut delivers: Vec<Option<Deliver>> = Vec::with_capacity(batch.len());
-        let mut specs: Vec<(CacheKey, Arc<Coo>)> = Vec::with_capacity(batch.len());
+        let mut specs: Vec<(CacheKey, &'static dyn PartitionBackend, Arc<Coo>)> =
+            Vec::with_capacity(batch.len());
         for job in batch {
-            specs.push((job.key, job.matrix));
+            specs.push((job.key, job.backend, job.matrix));
             delivers.push(Some(job.deliver));
         }
         let threads = worker_count(engine.config.threads).min(specs.len()).max(1);
@@ -288,15 +301,15 @@ fn dispatcher_loop(engine: &Engine) {
             specs.len(),
             threads,
             |i| {
-                let ((fingerprint, method, eps_bits, _, _), matrix) = &specs[i];
+                let ((fingerprint, _, method, eps_bits, _, _), backend, matrix) = &specs[i];
                 let seed = seed_of(&specs[i].0);
                 let start = Instant::now();
                 let outcome = execute(
                     matrix,
+                    *backend,
                     *method,
                     f64::from_bits(*eps_bits),
                     seed,
-                    &engine.config.engine,
                     *fingerprint,
                 );
                 (outcome, start.elapsed().as_secs_f64())
@@ -308,7 +321,7 @@ fn dispatcher_loop(engine: &Engine) {
                     // Keys that never asked for the assignment cache a
                     // *stripped* copy: the partition vector is O(nnz) and
                     // would otherwise pin every large matrix in memory.
-                    let wants_partition = specs[i].0 .4;
+                    let wants_partition = specs[i].0 .5;
                     let cached_copy = if wants_partition || outcome.partition.is_empty() {
                         outcome.clone()
                     } else {
@@ -330,17 +343,19 @@ fn dispatcher_loop(engine: &Engine) {
     }
 }
 
-/// The effective RNG seed of a job: [`job_seed`] over the fingerprint
-/// (as a hex key string), the canonical method name and ε, folded with
-/// the request's seed base. Identical requests therefore share one RNG
-/// stream at any thread count — §V's determinism contract, extended from
-/// sweeps to the service.
+/// The effective RNG seed of a job: [`job_seed`] over the backend name,
+/// the fingerprint (as a hex key string), the canonical method name and
+/// ε, folded with the request's seed base. Identical requests therefore
+/// share one RNG stream at any thread count — §V's determinism contract,
+/// extended from sweeps to the service — and requests differing only in
+/// backend draw independent streams, exactly like sweep cells.
 fn seed_of(key: &CacheKey) -> u64 {
     // include_partition deliberately excluded: asking for the assignment
     // must not change the result.
-    let (fingerprint, method, eps_bits, seed_base, _include_partition) = *key;
+    let (fingerprint, backend, method, eps_bits, seed_base, _include_partition) = *key;
     job_seed(
         seed_base,
+        backend,
         &format!("{fingerprint:016x}"),
         method.name(),
         f64::from_bits(eps_bits),
@@ -372,7 +387,16 @@ pub struct SessionSummary {
 
 impl Service {
     /// Starts the engine and its dispatcher thread.
-    pub fn start(config: ServiceConfig) -> Arc<Service> {
+    ///
+    /// Panics if `config.default_backend` is not a registered backend —
+    /// a config error surfaces here, not on the first request. The name
+    /// is also canonicalized, so a non-canonical spelling (`"PATOH"`)
+    /// seeds and caches identically to an explicit `backend: "patoh"`
+    /// request field.
+    pub fn start(mut config: ServiceConfig) -> Arc<Service> {
+        config.default_backend = parse_backend(config.default_backend)
+            .unwrap_or_else(|e| panic!("invalid default backend: {e}"))
+            .name();
         let engine = Arc::new(Engine {
             inner: Mutex::new(EngineInner {
                 queue: VecDeque::new(),
@@ -624,8 +648,13 @@ impl SessionDriver<'_> {
         };
         let fingerprint = matrix_fingerprint(&matrix);
         let seed_base = spec.seed.unwrap_or(engine.config.master_seed);
+        // Both sources are pre-validated canonical names: the request
+        // field by the protocol decoder, the default by Service::start.
+        let backend = parse_backend(spec.backend.unwrap_or(engine.config.default_backend))
+            .expect("backend names are validated at decode/config time");
         let key: CacheKey = (
             fingerprint,
+            backend.name(),
             spec.method,
             spec.epsilon.to_bits(),
             seed_base,
@@ -643,7 +672,7 @@ impl SessionDriver<'_> {
             shared.set(index, line);
         });
 
-        match engine.submit(key, matrix, deliver) {
+        match engine.submit(key, backend, matrix, deliver) {
             SubmitOutcome::CacheHit | SubmitOutcome::Follower => {
                 self.summary.cache_hits += 1;
             }
@@ -680,5 +709,29 @@ impl SessionDriver<'_> {
     /// themselves feed the [`write_responses`] return value back here).
     pub(crate) fn record_responses(&mut self, written: u64) {
         self.summary.responses = written;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_canonicalizes_the_default_backend_name() {
+        let service = Service::start(ServiceConfig {
+            default_backend: "PATOH",
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.engine.config.default_backend, "patoh");
+        service.shutdown_and_join();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid default backend")]
+    fn start_rejects_unregistered_default_backends() {
+        let _ = Service::start(ServiceConfig {
+            default_backend: "typo",
+            ..ServiceConfig::default()
+        });
     }
 }

@@ -3,11 +3,13 @@
 //! (`mgpart serve` in stdio mode, see `.github/workflows/ci.yml`); this
 //! test catches drift locally under plain `cargo test`.
 //!
-//! The script covers the three transport-visible features: an inline-COO
-//! request, a named collection matrix, and a repeat served from the cache
-//! (`"cached":true`). The service config below must stay in sync with the
-//! `mgpart serve` defaults, since both must reproduce the same golden
-//! bytes.
+//! The script covers the transport-visible features: an inline-COO
+//! request, a named collection matrix, a repeat served from the cache
+//! (`"cached":true`), an explicit `backend` selection (computed fresh —
+//! the backend is part of the cache key), and an unknown backend answered
+//! with a typed `unknown_backend` error. The service config below must
+//! stay in sync with the `mgpart serve` defaults, since both must
+//! reproduce the same golden bytes.
 
 use mg_collection::{CollectionScale, CollectionSpec};
 use mg_server::{Service, ServiceConfig};
@@ -34,8 +36,9 @@ fn smoke_script_reproduces_the_checked_in_golden_stream() {
         let service = Service::start(cli_default_config(threads));
         let mut out = Vec::new();
         let summary = service.run_session(REQUESTS.as_bytes(), &mut out);
-        assert_eq!(summary.responses, 3);
+        assert_eq!(summary.responses, 5);
         assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.errors, 1);
         assert_eq!(
             String::from_utf8(out).unwrap(),
             GOLDEN,
@@ -49,10 +52,20 @@ fn smoke_script_reproduces_the_checked_in_golden_stream() {
 }
 
 #[test]
-fn golden_stream_has_the_three_features_visible() {
+fn golden_stream_has_the_five_features_visible() {
     let lines: Vec<&str> = GOLDEN.lines().collect();
-    assert_eq!(lines.len(), 3);
+    assert_eq!(lines.len(), 5);
     assert!(lines[0].contains("\"cached\":false"));
+    assert!(
+        lines[0].contains("\"backend\":\"mondriaan\""),
+        "default backend is echoed"
+    );
     assert!(lines[1].contains("\"collection\"") || lines[1].contains("\"nnz\":1920"));
     assert!(lines[2].contains("\"cached\":true"));
+    // The same matrix + method on another backend computes fresh: the
+    // backend is part of the cache key and the seed derivation.
+    assert!(lines[3].contains("\"backend\":\"geometric\""));
+    assert!(lines[3].contains("\"cached\":false"));
+    assert!(lines[4].contains("\"status\":\"error\""));
+    assert!(lines[4].contains("\"code\":\"unknown_backend\""));
 }

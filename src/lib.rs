@@ -61,7 +61,8 @@ pub use mg_sparse as sparse;
 /// ```
 pub mod prelude {
     pub use mg_core::{
-        iterative_refinement, recursive_bisection, BipartitionResult, Method, MultiwayResult,
+        all_backends, iterative_refinement, parse_backend, recursive_bisection,
+        recursive_bisection_backend, BipartitionResult, Method, MultiwayResult, PartitionBackend,
     };
     pub use mg_hypergraph::{Hypergraph, VertexBipartition};
     pub use mg_partitioner::PartitionerConfig;
