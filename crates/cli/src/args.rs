@@ -33,6 +33,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--collection",
     "--id",
     "--op",
+    "--shard-id",
+    // route (the sharding front end):
+    "--shards",
+    "--window",
+    "--heavy-cost",
+    "--shard",
 ];
 
 impl Parsed {

@@ -15,12 +15,14 @@
 
 use mg_bench::{run_batch_sweep, BatchSweepConfig};
 use mg_collection::{CollectionScale, CollectionSpec};
+use mg_core::service::ErrorCode;
 use mg_core::{
     all_backends, parse_backend, recursive_bisection_backend, Granularity, Method,
     PartitionBackend, DEFAULT_BACKEND,
 };
+use mg_router::{Router, RouterConfig, RouterTcpServer, Topology};
 use mg_server::json::obj;
-use mg_server::{serve_stdio, Json, Service, ServiceConfig, TcpServer};
+use mg_server::{error_response, serve_stdio, Json, Service, ServiceConfig, TcpServer};
 use mg_sparse::{
     bsp_cost, communication_volume, dist_io, gen, io, load_imbalance, spy, spy_partitioned,
     CommunicationReport, Coo, Idx, PatternStats,
@@ -43,6 +45,7 @@ USAGE:
   mgpart backends                           list registered partition backends
   mgpart sweep     [options]                batched collection sweep (JSON lines)
   mgpart serve     [options]                streaming partition service (JSON lines)
+  mgpart route     --shards LIST [options]  sharding front end over mg-server shards
   mgpart request   [ADDR] [options]         build / send one service request
   mgpart help
 
@@ -89,6 +92,21 @@ SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
                          (smoke | default | large, default smoke)
   --collection-seed S    seed of that collection  (default 11)
   --timing      append non-deterministic time_ms to computed responses
+  --shard-id ID diagnostic shard tag added to stats/error responses
+                (for shards behind mgpart route; omit to stay untagged)
+
+ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
+  --shards LIST comma-separated shard specs [id=]host:port[*capacity];
+                ids default to s0,s1,...; capacities (default 1) weight
+                the rendezvous placement. Zero shards, duplicate ids or
+                duplicate addresses are typed config errors.
+  --listen ADDR TCP listen address; omit for stdio pipe mode
+  --cache N     router-level LRU response cache entries, 0 = off  (default 128)
+  --window N    max in-flight requests per shard connection  (default 64)
+  --backend B   backend assumed for cost estimation when requests carry
+                no backend field  (default mondriaan; match the shards')
+  --heavy-cost C  estimated-cost threshold that biases placement of
+                  expensive jobs toward high-capacity shards (default 10000000)
 
 REQUEST OPTIONS:
   ADDR          server address; omit with --print to just emit the JSON line
@@ -102,6 +120,7 @@ REQUEST OPTIONS:
   --seed S      request seed (optional)
   --id ID       correlation id echoed by the server
   --op OP       partition | ping | stats | shutdown  (default partition)
+  --shard ID    address a stats request to one shard of a router topology
   --include-partition    ask for the full per-nonzero assignment
   --print       print the request line instead of sending it
 
@@ -137,6 +156,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "backends" => backends(),
         "sweep" => sweep(&Parsed::parse(&argv[1..])?),
         "serve" => serve(&Parsed::parse(&argv[1..])?),
+        "route" => route(&Parsed::parse(&argv[1..])?),
         "request" => request(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -391,6 +411,7 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
             scale: scale_from_name(&parsed.flag("--collection-scale", "smoke"))?,
         },
         timing: parsed.has("--timing"),
+        shard_id: parsed.flag_opt("--shard-id"),
     };
     let service = Service::start(config);
     match parsed.flag_opt("--listen") {
@@ -409,6 +430,50 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
             eprintln!(
                 "session done: {} requests, {} responses, {} cache hits, {} errors",
                 summary.received, summary.responses, summary.cache_hits, summary.errors
+            );
+        }
+    }
+    Ok(())
+}
+
+fn route(parsed: &Parsed) -> Result<(), String> {
+    // A missing --shards list is the empty topology: same typed error,
+    // nonzero exit.
+    let topology = Topology::parse(&parsed.flag("--shards", ""))
+        .map_err(|e| format!("topology error: {e}"))?;
+    let config = RouterConfig {
+        window: parsed.flag_parse("--window", 64usize)?,
+        cache_capacity: parsed.flag_parse("--cache", 128usize)?,
+        default_backend: backend_from_flags(parsed)?.name(),
+        heavy_cost: parsed.flag_parse("--heavy-cost", RouterConfig::default().heavy_cost)?,
+        ..RouterConfig::default()
+    };
+    let shard_count = topology.len();
+    let router = Router::new(topology, config)?;
+    // Startup barrier: a mistyped shard address fails here, not on the
+    // first request.
+    router.connect_all()?;
+    match parsed.flag_opt("--listen") {
+        Some(addr) => {
+            let server = RouterTcpServer::bind(std::sync::Arc::new(router), &addr)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            eprintln!(
+                "mg-router listening on {} over {shard_count} shard(s)",
+                server.local_addr
+            );
+            server.join();
+            eprintln!("mg-router stopped");
+        }
+        None => {
+            let summary = mg_router::serve_stdio(&router);
+            eprintln!(
+                "session done: {} requests, {} responses, {} forwarded, \
+                 {} cache hits, {} errors",
+                summary.received,
+                summary.responses,
+                summary.forwarded,
+                summary.cache_hits,
+                summary.errors
             );
         }
     }
@@ -476,7 +541,15 @@ fn request(parsed: &Parsed) -> Result<(), String> {
                 fields.push(("include_partition", Json::Bool(true)));
             }
         }
-        "ping" | "stats" | "shutdown" => fields.push(("op", Json::Str(op.clone()))),
+        "ping" | "stats" | "shutdown" => {
+            fields.push(("op", Json::Str(op.clone())));
+            if let Some(shard) = parsed.flag_opt("--shard") {
+                if op != "stats" {
+                    return Err("--shard only applies to --op stats".into());
+                }
+                fields.push(("shard", Json::Str(shard)));
+            }
+        }
         other => {
             return Err(format!(
                 "unknown op {other:?} (partition|ping|stats|shutdown)"
@@ -490,8 +563,21 @@ fn request(parsed: &Parsed) -> Result<(), String> {
     }
 
     let addr = parsed.positional(0, "server address (or use --print)")?;
-    let mut stream = std::net::TcpStream::connect(addr.as_str())
-        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    // An unreachable endpoint is a *typed* protocol-shaped error line on
+    // stdout (code `connection_refused`) plus a nonzero exit — scripts
+    // parse one JSON line per request whether or not a server was there.
+    let mut stream = std::net::TcpStream::connect(addr.as_str()).map_err(|e| {
+        println!(
+            "{}",
+            error_response(
+                &Json::Null,
+                ErrorCode::ConnectionRefused,
+                &format!("connecting to {addr}: {e}"),
+                None,
+            )
+        );
+        format!("connecting to {addr}: {e}")
+    })?;
     {
         use std::io::Write as _;
         stream

@@ -101,6 +101,66 @@ fn backend_sweeps_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn request_against_a_dead_endpoint_exits_nonzero_with_a_typed_error() {
+    // Bind-and-drop an ephemeral port: plausibly real, certainly refused.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let out = mgpart(&["request", &addr, "--op", "ping"]);
+    assert!(
+        !out.status.success(),
+        "a refused connection must not exit 0 (stdout: {})",
+        stdout(&out)
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let body = stdout(&out);
+    let line = body.lines().next().unwrap_or_default();
+    assert!(
+        line.starts_with("{\"id\":null,\"status\":\"error\",\"code\":\"connection_refused\""),
+        "stdout carries the typed error line: {body}"
+    );
+    assert!(line.contains(&addr), "the address is named: {line}");
+    assert!(stderr(&out).contains("error:"), "stderr still explains");
+}
+
+#[test]
+fn route_rejects_zero_shard_topologies_with_a_typed_error() {
+    for args in [vec!["route"], vec!["route", "--shards", " , "]] {
+        let out = mgpart(&args);
+        assert!(!out.status.success(), "{args:?} must exit nonzero");
+        let err = stderr(&out);
+        assert!(
+            err.contains("topology error") && err.contains("zero shards"),
+            "{args:?} stderr: {err}"
+        );
+    }
+}
+
+#[test]
+fn route_rejects_duplicate_shard_ids_with_a_typed_error() {
+    let out = mgpart(&["route", "--shards", "a=127.0.0.1:1,a=127.0.0.1:2"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("topology error") && err.contains("more than once"),
+        "stderr: {err}"
+    );
+    let out = mgpart(&["route", "--shards", "x=127.0.0.1:1,y=127.0.0.1:1"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("address"), "duplicate addresses too");
+}
+
+#[test]
+fn request_print_emits_shard_addressed_stats_lines() {
+    let out = mgpart(&["request", "--op", "stats", "--shard", "s1", "--print"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), r#"{"op":"stats","shard":"s1"}"#);
+    let bad = mgpart(&["request", "--op", "ping", "--shard", "s1", "--print"]);
+    assert!(!bad.status.success(), "--shard is stats-only");
+}
+
+#[test]
 fn backends_listing_names_every_registered_backend() {
     let out = mgpart(&["backends"]);
     assert!(out.status.success());

@@ -9,7 +9,7 @@
 //! never drift apart.
 
 use crate::methods::Method;
-use mg_sparse::{Coo, Idx};
+use mg_sparse::{io, Coo, Idx};
 
 /// Where a request's matrix comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +123,16 @@ pub enum ErrorCode {
     ShuttingDown,
     /// A syntactically valid `op` the server does not support.
     Unsupported,
+    /// A client-side failure to reach the endpoint at all (emitted by
+    /// `mgpart request` when the TCP connect fails; no server was
+    /// involved).
+    ConnectionRefused,
+    /// The router lost a downstream shard and exhausted its
+    /// reconnect-and-replay attempts for this request.
+    ShardUnavailable,
+    /// The request addressed a shard id that is not part of the router's
+    /// topology.
+    UnknownShard,
 }
 
 impl ErrorCode {
@@ -137,6 +147,9 @@ impl ErrorCode {
             ErrorCode::UnknownCollection => "unknown_collection",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Unsupported => "unsupported",
+            ErrorCode::ConnectionRefused => "connection_refused",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
+            ErrorCode::UnknownShard => "unknown_shard",
         }
     }
 }
@@ -147,16 +160,28 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// The shared 64-bit bit mixer (the SplitMix64 finaliser) behind every
+/// service-level hash: fingerprints, placement keys and the router's
+/// rendezvous scores all funnel through it, so a single well-mixed
+/// function backs every key-derived decision.
+pub fn mix64(h: u64) -> u64 {
+    let mut x = h;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A stable 64-bit content fingerprint of a matrix: FNV-1a over the
-/// dimensions and the canonical entry list, finalised with SplitMix64.
+/// dimensions and the canonical entry list, finalised with [`mix64`].
 ///
 /// Two matrices fingerprint equal iff they have the same shape and nonzero
 /// pattern, whatever source they were decoded from — so an inline-COO
 /// request and a Matrix Market request for the same matrix share cache
 /// entries and derived seeds.
 pub fn matrix_fingerprint(a: &Coo) -> u64 {
-    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut h = FNV_OFFSET;
     let mut eat = |x: u64| {
         for b in x.to_le_bytes() {
@@ -169,11 +194,68 @@ pub fn matrix_fingerprint(a: &Coo) -> u64 {
     for (i, j) in a.iter() {
         eat((u64::from(i) << 32) | u64::from(j));
     }
-    // SplitMix64 finaliser.
-    let mut x = h;
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+    mix64(h)
+}
+
+/// A stable 64-bit fingerprint of a *name* (FNV-1a over the bytes,
+/// finalised with [`mix64`]): the placement key of collection-matrix
+/// requests, whose content only the shard knows.
+pub fn name_fingerprint(name: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in name.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Decodes the matrix carried *inside* a payload: inline COO triplets and
+/// Matrix Market text resolve to a [`Coo`] (with the library's typed
+/// validation errors), collection names resolve to `None` — only the
+/// serving side holds a collection.
+///
+/// This is the single decode path shared by the `mg-server` engine and
+/// the `mg-router` front end, so a malformed payload produces the exact
+/// same `(code, message)` pair whether a shard or the router rejects it.
+pub fn payload_matrix(payload: &MatrixPayload) -> Result<Option<Coo>, (ErrorCode, String)> {
+    match payload {
+        MatrixPayload::Inline {
+            rows,
+            cols,
+            entries,
+        } => Coo::new(*rows, *cols, entries.clone())
+            .map(Some)
+            .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
+        MatrixPayload::Collection(_) => Ok(None),
+        MatrixPayload::MatrixMarket(text) => io::read_matrix_market(text.as_bytes())
+            .map(Some)
+            .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
+    }
+}
+
+/// A request's placement identity: the key a router hashes to pick a
+/// shard (and the request half of its cache identity), plus the decoded
+/// matrix when the payload shipped one (available for cost estimation).
+#[derive(Debug)]
+pub struct Placement {
+    /// Content fingerprint for inline / Matrix Market payloads,
+    /// [`name_fingerprint`] for collection names.
+    pub key: u64,
+    /// The decoded matrix; `None` for collection payloads.
+    pub matrix: Option<Coo>,
+}
+
+/// Extracts the placement identity of a payload — [`matrix_fingerprint`]
+/// when the content travels with the request, [`name_fingerprint`] when
+/// only a collection name does. Fails with the same typed error the
+/// serving engine would produce for an undecodable payload.
+pub fn placement_key(payload: &MatrixPayload) -> Result<Placement, (ErrorCode, String)> {
+    let matrix = payload_matrix(payload)?;
+    let key = match (&matrix, payload) {
+        (Some(a), _) => matrix_fingerprint(a),
+        (None, MatrixPayload::Collection(name)) => name_fingerprint(name),
+        (None, _) => unreachable!("payload_matrix returns None only for collections"),
+    };
+    Ok(Placement { key, matrix })
 }
 
 #[cfg(test)]
@@ -207,5 +289,59 @@ mod tests {
         assert_eq!(ErrorCode::BadJson.as_str(), "bad_json");
         assert_eq!(ErrorCode::UnknownBackend.as_str(), "unknown_backend");
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting_down");
+        assert_eq!(ErrorCode::ConnectionRefused.as_str(), "connection_refused");
+        assert_eq!(ErrorCode::ShardUnavailable.as_str(), "shard_unavailable");
+        assert_eq!(ErrorCode::UnknownShard.as_str(), "unknown_shard");
+    }
+
+    #[test]
+    fn placement_keys_match_fingerprints_for_content_payloads() {
+        let inline = MatrixPayload::Inline {
+            rows: 3,
+            cols: 4,
+            entries: vec![(0, 1), (2, 3), (1, 1)],
+        };
+        let mtx = MatrixPayload::MatrixMarket(
+            "%%MatrixMarket matrix coordinate pattern general\n3 4 3\n1 2\n3 4\n2 2\n".into(),
+        );
+        let a = Coo::new(3, 4, vec![(0, 1), (2, 3), (1, 1)]).unwrap();
+        for payload in [&inline, &mtx] {
+            let p = placement_key(payload).unwrap();
+            assert_eq!(p.key, matrix_fingerprint(&a));
+            assert_eq!(p.matrix.as_ref().map(Coo::nnz), Some(3));
+        }
+    }
+
+    #[test]
+    fn placement_keys_hash_collection_names_without_content() {
+        let p = placement_key(&MatrixPayload::Collection("laplace2d_00_k10".into())).unwrap();
+        assert_eq!(p.key, name_fingerprint("laplace2d_00_k10"));
+        assert!(p.matrix.is_none());
+        assert_ne!(
+            name_fingerprint("laplace2d_00_k10"),
+            name_fingerprint("laplace2d_00_k20")
+        );
+    }
+
+    #[test]
+    fn bad_payloads_fail_placement_with_the_engine_error_class() {
+        let bad = MatrixPayload::Inline {
+            rows: 2,
+            cols: 2,
+            entries: vec![(5, 0)],
+        };
+        let (code, message) = placement_key(&bad).unwrap_err();
+        assert_eq!(code, ErrorCode::BadMatrix);
+        assert!(!message.is_empty());
+        let bad_mtx = MatrixPayload::MatrixMarket("not a matrix market header".into());
+        assert_eq!(placement_key(&bad_mtx).unwrap_err().0, ErrorCode::BadMatrix);
+    }
+
+    #[test]
+    fn mix64_separates_adjacent_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..1000u64 {
+            assert!(seen.insert(mix64(x)));
+        }
     }
 }

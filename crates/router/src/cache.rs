@@ -1,0 +1,99 @@
+//! Router-cache line surgery.
+//!
+//! The router cache stores *response lines*, not outcomes: the stored
+//! value is the shard's success line rewritten to `cached: true`, and a
+//! hit re-issues it under the new request's id. Both rewrites go through
+//! the deterministic [`Json`] parser/writer pair, whose serialisation of
+//! its own output is byte-stable — so a router-cache hit is
+//! byte-identical to the line the owning shard would have produced for
+//! the repeat (its own cache answers repeats with the same fields and
+//! `cached: true`).
+
+use mg_core::Method;
+use mg_server::Json;
+
+/// The request-level identity of a cacheable partition request:
+/// (placement key, method, explicit backend, ε bits, explicit seed,
+/// include_partition). Server-side defaults (backend, master seed) are
+/// deliberately *not* resolved here — all shards share one configuration,
+/// so requests agreeing on this key receive identical response payloads.
+pub type RouterKey = (u64, Method, Option<&'static str>, u64, Option<u64>, bool);
+
+/// Rewrites one top-level field of a parsed response document,
+/// re-serialising the rest byte-identically (the writer round-trips its
+/// own output exactly). `None` when the document is not an object or
+/// lacks the field.
+fn rewrite_field_doc(doc: &Json, field: &str, value: Json) -> Option<String> {
+    let mut doc = doc.clone();
+    let Json::Obj(fields) = &mut doc else {
+        return None;
+    };
+    let slot = fields.iter_mut().find(|(k, _)| k == field)?;
+    slot.1 = value;
+    Some(doc.to_string())
+}
+
+fn rewrite_field(line: &str, field: &str, value: Json) -> Option<String> {
+    rewrite_field_doc(&Json::parse(line).ok()?, field, value)
+}
+
+/// The stored variant of a fresh success document: `cached` flipped to
+/// `true`. Takes the already-parsed document so the delivery path parses
+/// each response line exactly once.
+pub(crate) fn cached_true_of(doc: &Json) -> Option<String> {
+    rewrite_field_doc(doc, "cached", Json::Bool(true))
+}
+
+/// Line-level variant of [`cached_true_of`] (tests and one-off callers).
+#[cfg(test)]
+pub(crate) fn with_cached_true(line: &str) -> Option<String> {
+    rewrite_field(line, "cached", Json::Bool(true))
+}
+
+/// Re-issues a stored line under a new request id.
+pub(crate) fn with_id(line: &str, id: &Json) -> Option<String> {
+    rewrite_field(line, "id", id.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"id\":5,\"status\":\"ok\",\
+         \"matrix\":{\"rows\":2,\"cols\":3,\"nnz\":4,\"fingerprint\":\"00000000000000ab\"},\
+         \"backend\":\"mondriaan\",\
+         \"method\":\"mg-ir\",\"epsilon\":0.03,\"seed\":99,\"volume\":1,\"imbalance\":0,\
+         \"ir_iterations\":2,\"part_nnz\":[2,2],\"cached\":false}";
+
+    #[test]
+    fn cached_flag_flips_without_touching_other_bytes() {
+        let stored = with_cached_true(LINE).unwrap();
+        assert_eq!(stored, LINE.replace("\"cached\":false", "\"cached\":true"));
+    }
+
+    #[test]
+    fn reissue_swaps_only_the_id() {
+        let stored = with_cached_true(LINE).unwrap();
+        let reissued = with_id(&stored, &Json::Str("r-2".into())).unwrap();
+        assert!(reissued.starts_with("{\"id\":\"r-2\",\"status\":\"ok\""));
+        assert_eq!(reissued.replace("{\"id\":\"r-2\",", "{\"id\":5,"), stored);
+    }
+
+    #[test]
+    fn rewrites_round_trip_the_float_fields_exactly() {
+        // ε 0.03 and imbalance 0 must survive parse → write untouched —
+        // the property the byte-identity contract rests on.
+        let twice = with_id(&with_id(LINE, &Json::Null).unwrap(), &Json::UInt(5)).unwrap();
+        assert_eq!(twice, LINE);
+    }
+
+    #[test]
+    fn unparseable_lines_refuse_rewriting() {
+        assert!(with_cached_true("not json").is_none());
+        assert!(
+            with_cached_true("{\"status\":\"ok\"}").is_none(),
+            "no cached field"
+        );
+        assert!(with_id("[1,2]", &Json::Null).is_none(), "not an object");
+    }
+}

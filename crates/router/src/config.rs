@@ -1,0 +1,216 @@
+//! Topology configuration: the shard list and its validation.
+//!
+//! A topology is an ordered list of [`ShardSpec`]s. The order matters
+//! only for display; placement depends on the shard *ids* and weights
+//! (rendezvous hashing, see [`crate::placement`]), so appending a shard
+//! never remaps traffic between the existing ones.
+
+use std::fmt;
+
+/// One downstream `mg-server` shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Stable identity of the shard — the rendezvous hash input, so
+    /// renaming a shard remaps its keys while re-addressing (moving the
+    /// same id to a new host:port) does not.
+    pub id: String,
+    /// TCP address (`host:port`) the shard listens on.
+    pub addr: String,
+    /// Relative capacity weight (≥ 1); a shard with capacity 2 attracts
+    /// roughly twice the keys of a capacity-1 shard.
+    pub capacity: u32,
+}
+
+/// A validated shard list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    shards: Vec<ShardSpec>,
+}
+
+/// Typed topology configuration errors — all fatal at startup, never
+/// discovered on the first request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No shards configured (an empty `--shards` list).
+    Empty,
+    /// Two shards share an id; placement would be ambiguous.
+    DuplicateId(String),
+    /// Two shards share an address; one process would own 2× the keys
+    /// silently.
+    DuplicateAddr(String),
+    /// A shard capacity of 0 would never attract any key.
+    ZeroCapacity(String),
+    /// A `--shards` element that does not parse as `[id=]host:port[*cap]`.
+    BadSpec(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has zero shards"),
+            TopologyError::DuplicateId(id) => {
+                write!(f, "topology lists shard id {id:?} more than once")
+            }
+            TopologyError::DuplicateAddr(addr) => {
+                write!(f, "topology lists shard address {addr:?} more than once")
+            }
+            TopologyError::ZeroCapacity(id) => {
+                write!(f, "shard {id:?} has capacity 0; capacities must be >= 1")
+            }
+            TopologyError::BadSpec(spec) => {
+                write!(
+                    f,
+                    "bad shard spec {spec:?}; expected [id=]host:port[*capacity]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl Topology {
+    /// Validates and adopts a shard list.
+    pub fn new(shards: Vec<ShardSpec>) -> Result<Topology, TopologyError> {
+        if shards.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let mut ids = std::collections::HashSet::new();
+        let mut addrs = std::collections::HashSet::new();
+        for shard in &shards {
+            if shard.capacity == 0 {
+                return Err(TopologyError::ZeroCapacity(shard.id.clone()));
+            }
+            if !ids.insert(shard.id.as_str()) {
+                return Err(TopologyError::DuplicateId(shard.id.clone()));
+            }
+            if !addrs.insert(shard.addr.as_str()) {
+                return Err(TopologyError::DuplicateAddr(shard.addr.clone()));
+            }
+        }
+        Ok(Topology { shards })
+    }
+
+    /// Parses a `--shards` list: comma-separated `[id=]host:port[*capacity]`
+    /// elements. Ids default to `s0`, `s1`, … in list order; capacities
+    /// default to 1.
+    pub fn parse(list: &str) -> Result<Topology, TopologyError> {
+        let mut shards = Vec::new();
+        for (index, raw) in list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .enumerate()
+        {
+            let (id, rest) = match raw.split_once('=') {
+                Some((id, rest)) if !id.is_empty() && !id.contains(':') => (id.to_string(), rest),
+                Some(_) => return Err(TopologyError::BadSpec(raw.to_string())),
+                None => (format!("s{index}"), raw),
+            };
+            let (addr, capacity) = match rest.split_once('*') {
+                Some((addr, cap)) => {
+                    let capacity: u32 = cap
+                        .parse()
+                        .map_err(|_| TopologyError::BadSpec(raw.to_string()))?;
+                    (addr, capacity)
+                }
+                None => (rest, 1),
+            };
+            if !addr.contains(':') || addr.is_empty() {
+                return Err(TopologyError::BadSpec(raw.to_string()));
+            }
+            shards.push(ShardSpec {
+                id,
+                addr: addr.to_string(),
+                capacity,
+            });
+        }
+        Topology::new(shards)
+    }
+
+    /// The shards, in configuration order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always `false`: an empty topology does not validate.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Index of the shard with `id`, if any.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.shards.iter().position(|s| s.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_address_lists_with_default_ids() {
+        let t = Topology::parse("127.0.0.1:7101, 127.0.0.1:7102").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.shards()[0].id, "s0");
+        assert_eq!(t.shards()[1].id, "s1");
+        assert_eq!(t.shards()[1].addr, "127.0.0.1:7102");
+        assert_eq!(t.shards()[0].capacity, 1);
+    }
+
+    #[test]
+    fn parses_named_and_weighted_shards() {
+        let t = Topology::parse("big=10.0.0.1:7077*4,small=10.0.0.2:7077").unwrap();
+        assert_eq!(t.shards()[0].id, "big");
+        assert_eq!(t.shards()[0].capacity, 4);
+        assert_eq!(t.shards()[1].capacity, 1);
+        assert_eq!(t.index_of("small"), Some(1));
+        assert_eq!(t.index_of("absent"), None);
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        assert_eq!(Topology::parse(""), Err(TopologyError::Empty));
+        assert_eq!(Topology::parse(" , ,"), Err(TopologyError::Empty));
+        assert_eq!(Topology::new(vec![]), Err(TopologyError::Empty));
+    }
+
+    #[test]
+    fn duplicate_ids_and_addresses_are_typed_errors() {
+        assert_eq!(
+            Topology::parse("a=h:1,a=h:2"),
+            Err(TopologyError::DuplicateId("a".into()))
+        );
+        assert_eq!(
+            Topology::parse("a=h:1,b=h:1"),
+            Err(TopologyError::DuplicateAddr("h:1".into()))
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in ["noport", "x=*2", "a=h:1*many", "=h:1"] {
+            assert!(
+                matches!(Topology::parse(bad), Err(TopologyError::BadSpec(_))),
+                "{bad:?} should be a BadSpec"
+            );
+        }
+        assert_eq!(
+            Topology::parse("a=h:1*0"),
+            Err(TopologyError::ZeroCapacity("a".into()))
+        );
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        assert!(TopologyError::Empty.to_string().contains("zero shards"));
+        assert!(TopologyError::DuplicateId("x".into())
+            .to_string()
+            .contains("\"x\""));
+    }
+}

@@ -1,0 +1,96 @@
+//! The in-process multi-shard harness: spawn K real `mg-server` shard
+//! engines on loopback TCP and a router over them, all inside one test
+//! process.
+//!
+//! This is what the topology-determinism tests drive (the acceptance
+//! contract: one session's response bytes are identical for 1 shard and
+//! K shards at any thread count), and a convenient way to demo the
+//! router without deploying anything.
+
+use crate::config::{ShardSpec, Topology};
+use crate::router::{Router, RouterConfig};
+use mg_server::{Service, ServiceConfig, TcpServer};
+use std::sync::Arc;
+
+/// One spawned loopback shard: the serving engine plus its TCP front
+/// end.
+pub struct LocalShard {
+    /// The spec a router uses to reach this shard.
+    pub spec: ShardSpec,
+    service: Arc<Service>,
+    server: Option<TcpServer>,
+}
+
+impl LocalShard {
+    /// `true` once the shard's engine began draining (e.g. because a
+    /// routed in-band `shutdown` reached it).
+    pub fn is_shutting_down(&self) -> bool {
+        self.service.is_shutting_down()
+    }
+}
+
+/// K loopback shards, ready to put a router in front of.
+pub struct LocalCluster {
+    /// The spawned shards, in id order (`s0`, `s1`, …) unless the config
+    /// hook assigned explicit `shard_id`s.
+    pub shards: Vec<LocalShard>,
+}
+
+impl LocalCluster {
+    /// Spawns `k` shards on ephemeral loopback ports. `make_config`
+    /// builds each shard's [`ServiceConfig`] from its index — return the
+    /// same configuration for every index (the default closure does) to
+    /// uphold the topology-determinism contract; set
+    /// [`ServiceConfig::shard_id`] per index to exercise shard
+    /// diagnostics.
+    pub fn spawn(k: usize, make_config: impl Fn(usize) -> ServiceConfig) -> LocalCluster {
+        let shards = (0..k)
+            .map(|index| {
+                let config = make_config(index);
+                let id = config
+                    .shard_id
+                    .clone()
+                    .unwrap_or_else(|| format!("s{index}"));
+                let capacity = 1;
+                let service = Service::start(config);
+                let server = TcpServer::bind(service.clone(), "127.0.0.1:0")
+                    .expect("binding loopback shard");
+                LocalShard {
+                    spec: ShardSpec {
+                        id,
+                        addr: server.local_addr.to_string(),
+                        capacity,
+                    },
+                    service,
+                    server: Some(server),
+                }
+            })
+            .collect();
+        LocalCluster { shards }
+    }
+
+    /// The topology covering every spawned shard.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.shards.iter().map(|s| s.spec.clone()).collect())
+            .expect("spawned shards form a valid topology")
+    }
+
+    /// A router over the cluster.
+    pub fn router(&self, config: RouterConfig) -> Router {
+        Router::new(self.topology(), config).expect("cluster router config")
+    }
+
+    /// Tears the cluster down: initiates shutdown on every shard engine
+    /// (idempotent — a routed in-band `shutdown` will already have done
+    /// it) and joins every TCP front end.
+    pub fn shutdown(mut self) {
+        for shard in &self.shards {
+            shard.service.initiate_shutdown();
+        }
+        for shard in &mut self.shards {
+            if let Some(server) = shard.server.take() {
+                server.join();
+            }
+        }
+    }
+}

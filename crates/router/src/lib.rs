@@ -1,0 +1,56 @@
+//! # mg-router — the sharding front end
+//!
+//! A standalone process that speaks the exact `mg-server` JSON-lines
+//! protocol (stdio + TCP), places every partition request onto one of N
+//! downstream `mg-server` shards, and streams responses back in
+//! per-session submission order:
+//!
+//! ```text
+//! client ──▶ mg-router ──▶ mg-server shard s0
+//!                     ├──▶ mg-server shard s1
+//!                     └──▶ mg-server shard s2
+//! ```
+//!
+//! Placement is a **weighted rendezvous hash** over the request's
+//! placement key — the matrix content fingerprint, or the collection-name
+//! fingerprint for named matrices ([`mg_core::service::placement_key`],
+//! shared with the shard cache) — weighted by shard capacity, with
+//! requests above the configured estimated-cost threshold biased toward
+//! larger shards. Repeats short-circuit at a router-level LRU before they
+//! cross the wire; per-shard connections replay their unanswered
+//! requests after a reconnect; a bounded in-flight window per shard
+//! provides backpressure.
+//!
+//! The service determinism contract extends to topology: a session's
+//! response bytes are a pure function of its request bytes for *any*
+//! shard count at any thread count (shards configured identically; see
+//! `crates/server/PROTOCOL.md` § Routing).
+//!
+//! ```
+//! use mg_router::{LocalCluster, RouterConfig};
+//! use mg_server::ServiceConfig;
+//!
+//! let cluster = LocalCluster::spawn(2, |_| ServiceConfig::default());
+//! let router = cluster.router(RouterConfig::default());
+//! let mut out = Vec::new();
+//! router.run_session(&b"{\"id\":1,\"op\":\"ping\"}\n"[..], &mut out);
+//! assert_eq!(
+//!     String::from_utf8(out).unwrap(),
+//!     "{\"id\":1,\"status\":\"ok\",\"op\":\"ping\"}\n"
+//! );
+//! cluster.shutdown();
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod harness;
+pub mod placement;
+pub mod router;
+pub mod transport;
+
+pub use cache::RouterKey;
+pub use config::{ShardSpec, Topology, TopologyError};
+pub use harness::{LocalCluster, LocalShard};
+pub use placement::{place, rendezvous};
+pub use router::{Router, RouterConfig, RouterSummary};
+pub use transport::{serve_pipe, serve_stdio, RouterTcpServer};

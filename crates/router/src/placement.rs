@@ -1,0 +1,148 @@
+//! Deterministic request placement: weighted rendezvous hashing over the
+//! placement key.
+//!
+//! Every (key, shard id) pair hashes — via the workspace's shared
+//! [`mix64`] finaliser — to a score scaled by the shard's weight; the
+//! highest score wins. Rendezvous hashing gives the two properties the
+//! router's contracts rest on:
+//!
+//! * **stability** — removing a shard remaps *only* the keys that shard
+//!   owned (~1/K of the keyspace for K equal shards); every other key
+//!   keeps its owner, so shard-local caches stay warm through topology
+//!   changes;
+//! * **purity** — placement is a function of (key, shard ids, weights)
+//!   alone, never of load or arrival order, which is what makes a
+//!   session's response stream identical for 1 shard and K shards.
+//!
+//! The weight of a shard is its configured capacity; requests whose
+//! estimated cost (the backend registry's [`estimated_cost`] hook)
+//! crosses [`RouterConfig::heavy_cost`](crate::RouterConfig) count
+//! capacity *squared*, deterministically biasing expensive jobs toward
+//! the larger shards while cheap traffic spreads ~proportionally.
+//!
+//! [`estimated_cost`]: mg_core::PartitionBackend::estimated_cost
+
+use crate::config::ShardSpec;
+use mg_core::service::{mix64, name_fingerprint};
+
+/// Weighted rendezvous over explicit `(id, weight)` pairs: returns the
+/// index of the winning entry. Ties (astronomically unlikely with mixed
+/// 64-bit scores, but possible) break toward the lower index, keeping the
+/// function total and deterministic.
+///
+/// Weights scale scores via the standard `-w / ln(u)` construction with
+/// `u ∈ (0, 1)` derived from the mixed hash, so a weight-2 entry owns
+/// twice the keyspace of a weight-1 entry in expectation.
+pub fn rendezvous(key: u64, entries: &[(&str, f64)]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (index, (id, weight)) in entries.iter().enumerate() {
+        let h = mix64(key ^ name_fingerprint(id));
+        // Map the high 53 bits into (0, 1); the +1/+2 offsets keep u
+        // strictly inside the open interval so ln(u) is finite and < 0.
+        let u = ((h >> 11) + 1) as f64 / ((1u64 << 53) + 2) as f64;
+        let score = if *weight > 0.0 {
+            -weight / u.ln()
+        } else {
+            f64::NEG_INFINITY
+        };
+        if score > best_score {
+            best_score = score;
+            best = index;
+        }
+    }
+    best
+}
+
+/// Places a request key onto one of `shards`: rendezvous with weight =
+/// capacity, or capacity² when the request is `heavy` (its estimated cost
+/// crossed the router's threshold).
+pub fn place(key: u64, shards: &[ShardSpec], heavy: bool) -> usize {
+    let entries: Vec<(&str, f64)> = shards
+        .iter()
+        .map(|s| {
+            let capacity = f64::from(s.capacity);
+            let weight = if heavy { capacity * capacity } else { capacity };
+            (s.id.as_str(), weight)
+        })
+        .collect();
+    rendezvous(key, &entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> Vec<ShardSpec> {
+        (0..n)
+            .map(|i| ShardSpec {
+                id: format!("s{i}"),
+                addr: format!("127.0.0.1:{}", 7100 + i),
+                capacity: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let t = shards(1);
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(place(key, &t, false), 0);
+            assert_eq!(place(key, &t, true), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let t = shards(5);
+        for key in 0..500u64 {
+            let a = place(mix64(key), &t, false);
+            assert!(a < 5);
+            assert_eq!(a, place(mix64(key), &t, false));
+        }
+    }
+
+    #[test]
+    fn capacity_weights_shift_ownership_toward_bigger_shards() {
+        let mut t = shards(2);
+        t[1].capacity = 3;
+        let mut counts = [0usize; 2];
+        for key in 0..4000u64 {
+            counts[place(mix64(key), &t, false)] += 1;
+        }
+        // Expected 1:3 split; accept a generous band around it.
+        assert!(
+            counts[1] > 2 * counts[0],
+            "capacity-3 shard should dominate: {counts:?}"
+        );
+        // Heavy jobs square the weights (1:9), pushing further.
+        let mut heavy = [0usize; 2];
+        for key in 0..4000u64 {
+            heavy[place(mix64(key), &t, true)] += 1;
+        }
+        assert!(
+            heavy[1] > counts[1],
+            "heavy traffic should skew harder toward capacity: {heavy:?} vs {counts:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys() {
+        let t = shards(4);
+        let mut shrunk = t.clone();
+        let removed = shrunk.remove(2);
+        let mut moved = 0usize;
+        let total = 2000u64;
+        for key in 0..total {
+            let before = &t[place(mix64(key), &t, false)];
+            let after = &shrunk[place(mix64(key), &shrunk, false)];
+            if before.id == removed.id {
+                moved += 1;
+            } else {
+                assert_eq!(before.id, after.id, "key {key} moved without cause");
+            }
+        }
+        // The removed shard owned ~1/4 of the keys; only those moved.
+        assert!(moved > total as usize / 8 && moved < total as usize / 2);
+    }
+}

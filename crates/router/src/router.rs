@@ -1,0 +1,974 @@
+//! The routing engine: placement, per-shard connections with
+//! reconnect-and-replay, the router-level response cache, and per-session
+//! ordered response streams.
+//!
+//! ## Execution model
+//!
+//! A session (one per stdio pipe or TCP connection) decodes request
+//! lines, answers what it can locally (parse errors, `ping`, `stats`,
+//! router-cache hits), and forwards the rest — the *original raw line*,
+//! so shards decode exactly what the client sent — to the shard that
+//! [`crate::placement`] picks for the request's placement key. Each
+//! session holds at most one connection per shard; responses come back in
+//! FIFO order per connection and are re-sequenced into client submission
+//! order by the same sliding-slot scheme `mg-server` uses.
+//!
+//! ## Failure handling
+//!
+//! Every forwarded-but-unanswered request stays in the connection's
+//! pending queue. When a connection dies (EOF, read or write error), the
+//! reader thread redials and replays the queue in order; if the shard
+//! stays unreachable after the configured attempts, the pending requests
+//! fail with typed `shard_unavailable` errors and later requests for that
+//! shard attempt one fresh revival each. The pending queue is also the
+//! backpressure bound: submissions block while `window` requests are in
+//! flight to one shard.
+//!
+//! ## Determinism
+//!
+//! Placement is a pure function of the request, shards are configured
+//! identically, and the router cache only ever serves a byte-rewrite
+//! (fresh id, `cached: true`) of a line some shard produced — so a
+//! session's response stream is the same for 1 shard and K shards at any
+//! thread count (see `PROTOCOL.md` § Routing for the exact contract).
+
+use crate::cache::{cached_true_of, with_id, RouterKey};
+use crate::config::Topology;
+use crate::placement::place;
+use mg_core::service::{placement_key, ErrorCode, RequestOp};
+use mg_core::{parse_backend, DEFAULT_BACKEND};
+use mg_server::json::obj;
+use mg_server::{protocol, Json, LruCache};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Largest number of forwarded-but-unanswered requests per shard
+    /// connection; full ⇒ the session's reader blocks (backpressure).
+    pub window: usize,
+    /// Router-level LRU response cache capacity in entries; 0 disables.
+    pub cache_capacity: usize,
+    /// Backend assumed for cost estimation when a request carries no
+    /// `backend` field. Must match the shards' default backend for the
+    /// cost model to reflect what actually runs.
+    pub default_backend: &'static str,
+    /// Estimated-cost threshold ([`mg_core::PartitionBackend::estimated_cost`])
+    /// above which a request counts shard capacity *squared* in placement,
+    /// biasing heavy jobs toward larger shards.
+    pub heavy_cost: u64,
+    /// Dial attempts per connect/reconnect before a shard counts as down.
+    pub connect_attempts: u32,
+    /// Delay between dial attempts.
+    pub retry_delay: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            window: 64,
+            cache_capacity: 128,
+            default_backend: DEFAULT_BACKEND,
+            heavy_cost: 10_000_000,
+            connect_attempts: 5,
+            retry_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Per-session counters (the router-side analogue of
+/// [`mg_server::SessionSummary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterSummary {
+    /// Request lines decoded (including failed ones).
+    pub received: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Requests forwarded to a shard.
+    pub forwarded: u64,
+    /// Requests short-circuited by the router cache.
+    pub cache_hits: u64,
+    /// Locally answered error responses.
+    pub errors: u64,
+}
+
+pub(crate) struct RouterCore {
+    pub(crate) topology: Topology,
+    pub(crate) config: RouterConfig,
+    cache: Mutex<LruCache<RouterKey, String>>,
+    /// Idle, reader-less connections per shard, reusable across sessions.
+    pools: Vec<Mutex<Vec<TcpStream>>>,
+    shutdown: AtomicBool,
+    /// Guards the one-shot forwarding of `shutdown` to every shard.
+    teardown_done: Mutex<bool>,
+}
+
+/// A running router: validated topology + shared cache + connection
+/// pools. Sessions attach via [`Router::run_session`] (pipe transports)
+/// or the TCP front end in [`crate::transport`].
+pub struct Router {
+    pub(crate) core: Arc<RouterCore>,
+}
+
+impl Router {
+    /// Builds a router over a validated topology. Fails (with a message)
+    /// only when `config.default_backend` is not a registered backend.
+    pub fn new(topology: Topology, mut config: RouterConfig) -> Result<Router, String> {
+        config.default_backend = parse_backend(config.default_backend)?.name();
+        let pools = (0..topology.len())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        Ok(Router {
+            core: Arc::new(RouterCore {
+                cache: Mutex::new(LruCache::new(config.cache_capacity)),
+                pools,
+                shutdown: AtomicBool::new(false),
+                teardown_done: Mutex::new(false),
+                topology,
+                config,
+            }),
+        })
+    }
+
+    /// The validated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+
+    /// Dials every shard once (with the configured retries), parking the
+    /// connections in the pools — the startup barrier of `mgpart route`,
+    /// so a mistyped address fails before the first request.
+    pub fn connect_all(&self) -> Result<(), String> {
+        for (index, shard) in self.core.topology.shards().iter().enumerate() {
+            let stream = self.core.dial(index).map_err(|e| {
+                format!("connecting to shard {:?} at {}: {e}", shard.id, shard.addr)
+            })?;
+            self.core.pools[index]
+                .lock()
+                .expect("pool mutex poisoned")
+                .push(stream);
+        }
+        Ok(())
+    }
+
+    /// `true` once an in-band `shutdown` has been observed.
+    pub fn is_shutting_down(&self) -> bool {
+        self.core.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting forwarded work (the out-of-band analogue of the
+    /// `shutdown` op; does not contact the shards).
+    pub fn initiate_shutdown(&self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Runs one full session over a generic line transport: requests are
+    /// read from `input` on the calling thread, responses stream to
+    /// `output` from a writer thread in submission order. Returns when
+    /// the input is exhausted (EOF or in-band `shutdown`) and every
+    /// response has been written.
+    pub fn run_session<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        mut output: W,
+    ) -> RouterSummary {
+        let mut driver = RouterSessionDriver::new(self.core.clone());
+        let shared = driver.shared();
+        crossbeam::scope(|scope| {
+            let out = &mut output;
+            let writer = scope.spawn(move |_| write_router_responses(&shared, out));
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                if !driver.handle_line(&line) {
+                    break;
+                }
+            }
+            driver.finish();
+            driver.summary.responses = writer.join().expect("router writer panicked");
+        })
+        .expect("router session scope");
+        driver.summary
+    }
+
+    /// Opens a session driver for a custom transport (the TCP front end);
+    /// most callers want [`Router::run_session`].
+    pub(crate) fn open_session(&self) -> RouterSessionDriver {
+        RouterSessionDriver::new(self.core.clone())
+    }
+}
+
+impl RouterCore {
+    fn dial(&self, shard: usize) -> std::io::Result<TcpStream> {
+        let addr = &self.topology.shards()[shard].addr;
+        let mut last = None;
+        for attempt in 0..self.config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.config.retry_delay);
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+    }
+
+    /// A connection for `shard`: pooled if available, freshly dialed
+    /// otherwise.
+    fn take_connection(&self, shard: usize) -> std::io::Result<TcpStream> {
+        if let Some(stream) = self.pools[shard].lock().expect("pool mutex poisoned").pop() {
+            return Ok(stream);
+        }
+        self.dial(shard)
+    }
+
+    fn return_connection(&self, shard: usize, stream: TcpStream) {
+        self.pools[shard]
+            .lock()
+            .expect("pool mutex poisoned")
+            .push(stream);
+    }
+
+    fn cache_get(&self, key: &RouterKey) -> Option<String> {
+        self.cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn cache_put(&self, key: RouterKey, line: String) {
+        self.cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(key, line);
+    }
+
+    /// Forwards `shutdown` to every shard exactly once (whichever session
+    /// gets there first wins), draining each: the shard answers all
+    /// earlier requests on the connection, acks the shutdown, and exits.
+    /// `session_conns` donates the calling session's live (drained)
+    /// connections so shards are not redialed needlessly.
+    fn teardown_shards(&self, mut session_conns: Vec<Option<TcpStream>>) {
+        let mut done = self.teardown_done.lock().expect("teardown mutex poisoned");
+        if *done {
+            return;
+        }
+        *done = true;
+        session_conns.resize_with(self.topology.len(), || None);
+        for (index, slot) in session_conns.iter_mut().enumerate() {
+            let stream = slot
+                .take()
+                .or_else(|| self.pools[index].lock().expect("pool mutex poisoned").pop())
+                .or_else(|| self.dial(index).ok());
+            let Some(mut stream) = stream else { continue };
+            if stream.write_all(b"{\"op\":\"shutdown\"}\n").is_err() || stream.flush().is_err() {
+                continue;
+            }
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            // Await the ack so the shard has fully drained before we
+            // report our own shutdown; the content is irrelevant.
+            let mut ack = String::new();
+            let _ = BufReader::new(stream).read_line(&mut ack);
+        }
+    }
+}
+
+/// One forwarded-but-unanswered request.
+struct PendingEntry {
+    /// Session submission index (the response slot to fill).
+    index: u64,
+    /// The original request line, byte-for-byte — what a replay resends.
+    raw: String,
+    /// Router-cache key for cacheable (partition) requests.
+    key: Option<RouterKey>,
+    /// The request id, kept so a failure response can echo it without
+    /// re-parsing the raw line.
+    id: Json,
+}
+
+/// State shared between a session and one shard-connection reader thread.
+struct ConnShared {
+    /// The live stream; the reader swaps it on reconnect, the session
+    /// writes requests through it. Lock order: `stream` before `pending`.
+    stream: Mutex<TcpStream>,
+    pending: Mutex<VecDeque<PendingEntry>>,
+    /// Signalled whenever `pending` shrinks (window space / drain).
+    space: Condvar,
+    /// Session is over; exit once `pending` is empty.
+    stop: AtomicBool,
+    /// The connection failed for good (reconnects exhausted); pending
+    /// requests were failed with `shard_unavailable`.
+    dead: AtomicBool,
+}
+
+struct ShardConn {
+    shared: Arc<ConnShared>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardConn {
+    /// Stops the reader (it notices within its read timeout) and joins
+    /// it, returning the stream if the connection is still clean enough
+    /// to pool (no pending, not dead).
+    fn retire(mut self) -> Option<TcpStream> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        let clean = !self.shared.dead.load(Ordering::SeqCst)
+            && self
+                .shared
+                .pending
+                .lock()
+                .expect("pending mutex poisoned")
+                .is_empty();
+        if !clean {
+            return None;
+        }
+        let stream = self.shared.stream.lock().expect("stream mutex poisoned");
+        stream.try_clone().ok()
+    }
+}
+
+/// Response slots of one router session (the sliding-window scheme of
+/// `mg-server`, with deferred `stats` slots so the counters cover exactly
+/// the delivered prefix).
+enum RSlot {
+    Pending,
+    Ready {
+        line: String,
+        /// The response says `cached: true` (shard- or router-served).
+        cached: bool,
+        /// The response is an error line.
+        error: bool,
+    },
+    Stats {
+        id: Json,
+        received: u64,
+    },
+}
+
+impl RSlot {
+    fn is_resolved(&self) -> bool {
+        !matches!(self, RSlot::Pending)
+    }
+}
+
+#[derive(Default)]
+struct RouterSlots {
+    base: u64,
+    slots: VecDeque<RSlot>,
+    input_done: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct RouterShared {
+    state: Mutex<RouterSlots>,
+    ready: Condvar,
+}
+
+impl RouterShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RouterSlots> {
+        self.state.lock().expect("router session mutex poisoned")
+    }
+
+    fn push_pending(&self) {
+        self.lock().slots.push_back(RSlot::Pending);
+    }
+
+    fn set(&self, index: u64, slot: RSlot) {
+        let mut state = self.lock();
+        let offset = (index - state.base) as usize;
+        state.slots[offset] = slot;
+        self.ready.notify_all();
+    }
+
+    fn set_line(&self, index: u64, line: String, cached: bool, error: bool) {
+        self.set(
+            index,
+            RSlot::Ready {
+                line,
+                cached,
+                error,
+            },
+        );
+    }
+
+    fn finish_input(&self) {
+        self.lock().input_done = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Writer half of a router session: emits responses in submission order,
+/// tallying `cached: true` and error lines as they pass so a deferred
+/// `stats` slot reports exactly its prefix. Returns the number of
+/// responses written.
+pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &mut W) -> u64 {
+    let mut written = 0u64;
+    let mut cache_hits = 0u64;
+    let mut errors = 0u64;
+    loop {
+        let slot = {
+            let mut state = shared.lock();
+            loop {
+                if matches!(state.slots.front(), Some(slot) if slot.is_resolved()) {
+                    break;
+                }
+                if state.input_done && state.slots.front().is_none() {
+                    return written;
+                }
+                state = shared
+                    .ready
+                    .wait(state)
+                    .expect("router session mutex poisoned");
+            }
+            state.base += 1;
+            state.slots.pop_front().expect("checked front")
+        };
+        let line = match slot {
+            RSlot::Pending => unreachable!("writer only pops resolved slots"),
+            RSlot::Ready {
+                line,
+                cached,
+                error,
+            } => {
+                if cached {
+                    cache_hits += 1;
+                }
+                if error {
+                    errors += 1;
+                }
+                line
+            }
+            RSlot::Stats { id, received } => obj(vec![
+                ("id", id),
+                ("status", Json::Str("ok".into())),
+                ("op", Json::Str("stats".into())),
+                ("received", Json::UInt(received)),
+                ("cache_hits", Json::UInt(cache_hits)),
+                ("errors", Json::UInt(errors)),
+            ])
+            .to_string(),
+        };
+        if output.write_all(line.as_bytes()).is_ok()
+            && output.write_all(b"\n").is_ok()
+            && output.flush().is_ok()
+        {
+            written += 1;
+        }
+    }
+}
+
+/// Reader half of one shard connection: pairs response lines with the
+/// FIFO pending queue, fills session slots, feeds the router cache, and
+/// owns reconnect-and-replay.
+fn reader_loop(
+    core: Arc<RouterCore>,
+    shard: usize,
+    conn: Arc<ConnShared>,
+    slots: Arc<RouterShared>,
+) {
+    'connection: loop {
+        let handle = {
+            let stream = conn.stream.lock().expect("stream mutex poisoned");
+            match stream.try_clone() {
+                Ok(h) => h,
+                Err(_) => {
+                    fail_connection(&core, shard, &conn, &slots);
+                    return;
+                }
+            }
+        };
+        let _ = handle.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut reader = BufReader::new(handle);
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let idle = conn
+                .pending
+                .lock()
+                .expect("pending mutex poisoned")
+                .is_empty();
+            if conn.stop.load(Ordering::SeqCst) && idle {
+                return;
+            }
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    // Shard closed the connection. Idle close (e.g. a
+                    // shard restarting) just retires this reader; a close
+                    // with pending work triggers reconnect-and-replay.
+                    // `dead` is set under the pending lock so a racing
+                    // `forward` either sees the flag before enqueueing or
+                    // its entry is seen here — never an orphaned request.
+                    let retired = {
+                        let pending = conn.pending.lock().expect("pending mutex poisoned");
+                        if pending.is_empty() {
+                            conn.dead.store(true, Ordering::SeqCst);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if retired {
+                        return;
+                    }
+                    if !reconnect_and_replay(&core, shard, &conn) {
+                        fail_connection(&core, shard, &conn, &slots);
+                        return;
+                    }
+                    buf.clear();
+                    continue 'connection;
+                }
+                Ok(_) => {
+                    if buf.last() != Some(&b'\n') {
+                        // Timeout mid-line: keep the prefix and retry.
+                        continue;
+                    }
+                    let line = String::from_utf8_lossy(&buf)
+                        .trim_end_matches(['\r', '\n'])
+                        .to_string();
+                    buf.clear();
+                    deliver_response(&core, &conn, &slots, &line);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if !reconnect_and_replay(&core, shard, &conn) {
+                        fail_connection(&core, shard, &conn, &slots);
+                        return;
+                    }
+                    buf.clear();
+                    continue 'connection;
+                }
+            }
+        }
+    }
+}
+
+/// Matches one shard response line with the oldest pending request:
+/// stores cacheable successes in the router cache (as their
+/// `cached: true` variant) and resolves the session slot.
+fn deliver_response(core: &RouterCore, conn: &ConnShared, slots: &RouterShared, line: &str) {
+    let entry = {
+        let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+        let entry = pending.pop_front();
+        conn.space.notify_all();
+        entry
+    };
+    let Some(entry) = entry else {
+        // A response with no matching request: protocol violation; drop
+        // the line rather than corrupting slot order.
+        return;
+    };
+    // One parse per response line: metadata and the cache-stored rewrite
+    // both come from this document.
+    let doc = Json::parse(line).ok();
+    let status = doc
+        .as_ref()
+        .and_then(|d| d.get("status"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    let cached = doc
+        .as_ref()
+        .and_then(|d| d.get("cached"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let error = status == "error";
+    if status == "ok" {
+        if let (Some(key), Some(doc)) = (entry.key, &doc) {
+            if let Some(stored) = cached_true_of(doc) {
+                core.cache_put(key, stored);
+            }
+        }
+    }
+    slots.set_line(entry.index, line.to_string(), cached, error);
+}
+
+/// Redials the shard and replays the pending queue in order. Returns
+/// `false` when the shard stayed unreachable through the configured
+/// attempts.
+fn reconnect_and_replay(core: &RouterCore, shard: usize, conn: &ConnShared) -> bool {
+    let Ok(fresh) = core.dial(shard) else {
+        return false;
+    };
+    let mut stream = conn.stream.lock().expect("stream mutex poisoned");
+    let pending = conn.pending.lock().expect("pending mutex poisoned");
+    for entry in pending.iter() {
+        if fresh.peer_addr().is_err() {
+            return false;
+        }
+        let mut w = &fresh;
+        if w.write_all(entry.raw.as_bytes()).is_err()
+            || w.write_all(b"\n").is_err()
+            || w.flush().is_err()
+        {
+            return false;
+        }
+    }
+    *stream = fresh;
+    true
+}
+
+/// Fails every pending request of a lost connection with a typed
+/// `shard_unavailable` error and marks the connection dead.
+fn fail_connection(core: &RouterCore, shard: usize, conn: &ConnShared, slots: &RouterShared) {
+    conn.dead.store(true, Ordering::SeqCst);
+    let spec = &core.topology.shards()[shard];
+    let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+    while let Some(entry) = pending.pop_front() {
+        let line = protocol::error_response(
+            &entry.id,
+            ErrorCode::ShardUnavailable,
+            &format!(
+                "shard {:?} at {} became unreachable; request lost after replay attempts",
+                spec.id, spec.addr
+            ),
+            Some(&spec.id),
+        );
+        slots.set_line(entry.index, line, false, true);
+    }
+    conn.space.notify_all();
+}
+
+/// Reader half of a router session, usable from any transport: feed it
+/// request lines, run [`write_router_responses`] from a writer thread,
+/// and call [`RouterSessionDriver::finish`] when the input ends.
+pub(crate) struct RouterSessionDriver {
+    core: Arc<RouterCore>,
+    shared: Arc<RouterShared>,
+    conns: Vec<Option<ShardConn>>,
+    pub(crate) summary: RouterSummary,
+    next_index: u64,
+}
+
+impl RouterSessionDriver {
+    fn new(core: Arc<RouterCore>) -> Self {
+        let shards = core.topology.len();
+        RouterSessionDriver {
+            core,
+            shared: Arc::new(RouterShared::default()),
+            conns: (0..shards).map(|_| None).collect(),
+            summary: RouterSummary::default(),
+            next_index: 0,
+        }
+    }
+
+    pub(crate) fn shared(&self) -> Arc<RouterShared> {
+        self.shared.clone()
+    }
+
+    /// Decodes and routes one request line. Returns `false` when the
+    /// session should stop reading (an in-band `shutdown`).
+    pub(crate) fn handle_line(&mut self, raw: &str) -> bool {
+        let line = raw.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        self.summary.received += 1;
+        self.shared.push_pending();
+
+        let request = match protocol::parse_request_line(line) {
+            Ok(request) => request,
+            Err(e) => {
+                self.local_error(index, &e.id, e.code, &e.message, None);
+                return true;
+            }
+        };
+        match request.op {
+            RequestOp::Ping => {
+                self.shared.set_line(
+                    index,
+                    protocol::op_response(&request.id, "ping"),
+                    false,
+                    false,
+                );
+                true
+            }
+            RequestOp::Stats => {
+                self.handle_stats(index, line, request.id, request.shard);
+                true
+            }
+            RequestOp::Shutdown => {
+                self.handle_shutdown(index, request.id);
+                false
+            }
+            RequestOp::Partition => {
+                let spec = request.spec.expect("partition requests carry a spec");
+                self.route_partition(index, line, request.id, spec);
+                true
+            }
+        }
+    }
+
+    fn local_error(
+        &mut self,
+        index: u64,
+        id: &Json,
+        code: ErrorCode,
+        message: &str,
+        shard: Option<&str>,
+    ) {
+        self.summary.errors += 1;
+        self.shared.set_line(
+            index,
+            protocol::error_response(id, code, message, shard),
+            false,
+            true,
+        );
+    }
+
+    /// `stats` without a `shard` field is answered by the router itself
+    /// (topology-independent, deferred to the writer); with one — decoded
+    /// and validated by the protocol codec — the raw line is forwarded to
+    /// the named shard, whose response carries its own counters and
+    /// `shard` tag.
+    fn handle_stats(&mut self, index: u64, raw: &str, id: Json, shard: Option<String>) {
+        match shard {
+            None => {
+                let received = self.summary.received;
+                self.shared.set(index, RSlot::Stats { id, received });
+            }
+            Some(name) => match self.core.topology.index_of(&name) {
+                Some(shard) => self.forward(index, shard, raw, None, &id),
+                None => {
+                    let message = format!(
+                        "no shard named {name:?} in the topology ({})",
+                        self.core
+                            .topology
+                            .shards()
+                            .iter()
+                            .map(|s| s.id.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    self.local_error(index, &id, ErrorCode::UnknownShard, &message, None);
+                }
+            },
+        }
+    }
+
+    fn route_partition(
+        &mut self,
+        index: u64,
+        raw: &str,
+        id: Json,
+        spec: mg_core::service::PartitionSpec,
+    ) {
+        if self.core.shutdown.load(Ordering::SeqCst) {
+            self.local_error(
+                index,
+                &id,
+                ErrorCode::ShuttingDown,
+                "router is draining; request rejected",
+                None,
+            );
+            return;
+        }
+        let placement = match placement_key(&spec.matrix) {
+            Ok(placement) => placement,
+            Err((code, message)) => {
+                self.local_error(index, &id, code, &message, None);
+                return;
+            }
+        };
+        let key: RouterKey = (
+            placement.key,
+            spec.method,
+            spec.backend,
+            spec.epsilon.to_bits(),
+            spec.seed,
+            spec.include_partition,
+        );
+        if let Some(stored) = self.core.cache_get(&key) {
+            if let Some(line) = with_id(&stored, &id) {
+                self.summary.cache_hits += 1;
+                self.shared.set_line(index, line, true, false);
+                return;
+            }
+        }
+        // Pre-validated: the request field by the protocol decoder, the
+        // default by Router::new.
+        let backend = parse_backend(spec.backend.unwrap_or(self.core.config.default_backend))
+            .expect("backend names are validated at decode/config time");
+        let heavy = placement
+            .matrix
+            .as_ref()
+            .is_some_and(|m| backend.estimated_cost(m) >= self.core.config.heavy_cost);
+        let shard = place(placement.key, self.core.topology.shards(), heavy);
+        self.forward(index, shard, raw, Some(key), &id);
+    }
+
+    /// Forwards the raw request line to `shard`, blocking while the
+    /// in-flight window is full.
+    fn forward(&mut self, index: u64, shard: usize, raw: &str, key: Option<RouterKey>, id: &Json) {
+        let conn = match self.connection(shard) {
+            Ok(conn) => conn,
+            Err(e) => {
+                let spec = &self.core.topology.shards()[shard];
+                let message = format!("shard {:?} at {} is unreachable: {e}", spec.id, spec.addr);
+                let shard_id = spec.id.clone();
+                self.local_error(
+                    index,
+                    id,
+                    ErrorCode::ShardUnavailable,
+                    &message,
+                    Some(&shard_id),
+                );
+                return;
+            }
+        };
+        // Window backpressure: wait for room (the reader signals `space`
+        // as responses land or the connection fails).
+        let window = self.core.config.window.max(1);
+        {
+            let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+            while pending.len() >= window && !conn.dead.load(Ordering::SeqCst) {
+                pending = conn.space.wait(pending).expect("pending mutex poisoned");
+            }
+        }
+        // Enqueue *then* write, both under the stream lock, so the wire
+        // order always equals the pending order (what a replay resends).
+        // The dead-check happens under the pending lock, mirroring the
+        // reader's idle-EOF retirement, so no entry lands on a retired
+        // connection unseen.
+        let stream = conn.stream.lock().expect("stream mutex poisoned");
+        {
+            let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+            if conn.dead.load(Ordering::SeqCst) {
+                drop(pending);
+                drop(stream);
+                let spec = &self.core.topology.shards()[shard];
+                let message = format!(
+                    "shard {:?} at {} became unreachable; request not forwarded",
+                    spec.id, spec.addr
+                );
+                let shard_id = spec.id.clone();
+                self.local_error(
+                    index,
+                    id,
+                    ErrorCode::ShardUnavailable,
+                    &message,
+                    Some(&shard_id),
+                );
+                return;
+            }
+            pending.push_back(PendingEntry {
+                index,
+                raw: raw.to_string(),
+                key,
+                id: id.clone(),
+            });
+        }
+        let mut w = &*stream;
+        let write_ok =
+            w.write_all(raw.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok();
+        drop(stream);
+        self.summary.forwarded += 1;
+        if !write_ok {
+            // Poke the reader: shut the read half down so it stops
+            // waiting on a dead socket and runs reconnect-and-replay
+            // (the entry is already pending, so the replay resends it).
+            let stream = conn.stream.lock().expect("stream mutex poisoned");
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    /// The session's connection to `shard`, creating or reviving it as
+    /// needed (pool first, fresh dial second).
+    fn connection(&mut self, shard: usize) -> std::io::Result<Arc<ConnShared>> {
+        if let Some(conn) = &self.conns[shard] {
+            if !conn.shared.dead.load(Ordering::SeqCst) {
+                return Ok(conn.shared.clone());
+            }
+            // Revive: retire the dead reader before replacing it.
+            if let Some(conn) = self.conns[shard].take() {
+                conn.retire();
+            }
+        }
+        let stream = self.core.take_connection(shard)?;
+        let shared = Arc::new(ConnShared {
+            stream: Mutex::new(stream),
+            pending: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            stop: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+        });
+        let reader = std::thread::Builder::new()
+            .name(format!("mg-router-shard-{shard}"))
+            .spawn({
+                let core = self.core.clone();
+                let conn = shared.clone();
+                let slots = self.shared.clone();
+                move || reader_loop(core, shard, conn, slots)
+            })?;
+        self.conns[shard] = Some(ShardConn {
+            shared: shared.clone(),
+            reader: Some(reader),
+        });
+        Ok(shared)
+    }
+
+    /// Blocks until every forwarded request of this session has been
+    /// answered (or failed).
+    fn drain_pending(&self) {
+        for conn in self.conns.iter().flatten() {
+            let mut pending = conn.shared.pending.lock().expect("pending mutex poisoned");
+            while !pending.is_empty() {
+                pending = conn
+                    .shared
+                    .space
+                    .wait(pending)
+                    .expect("pending mutex poisoned");
+            }
+        }
+    }
+
+    /// The in-band `shutdown`: reject new work router-wide, drain this
+    /// session's forwards, forward the shutdown to every shard (drain
+    /// semantics, once per router), then ack.
+    fn handle_shutdown(&mut self, index: u64, id: Json) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.drain_pending();
+        let streams: Vec<Option<TcpStream>> = self
+            .conns
+            .iter_mut()
+            .map(|slot| slot.take().and_then(ShardConn::retire))
+            .collect();
+        self.core.teardown_shards(streams);
+        self.shared
+            .set_line(index, protocol::op_response(&id, "shutdown"), false, false);
+    }
+
+    /// Ends the session: waits out in-flight forwards, retires the
+    /// connections (pooling the clean ones), and releases the writer.
+    pub(crate) fn finish(&mut self) {
+        self.drain_pending();
+        for (shard, slot) in self.conns.iter_mut().enumerate() {
+            if let Some(conn) = slot.take() {
+                if let Some(stream) = conn.retire() {
+                    if !self.core.shutdown.load(Ordering::SeqCst) {
+                        self.core.return_connection(shard, stream);
+                    }
+                }
+            }
+        }
+        self.shared.finish_input();
+    }
+
+    /// Sets the final `responses` count (transports that pump the writer
+    /// themselves feed the [`write_router_responses`] return value here).
+    pub(crate) fn record_responses(&mut self, written: u64) {
+        self.summary.responses = written;
+    }
+}

@@ -1,0 +1,136 @@
+//! Router transports: the same JSON-lines protocol over a stdio pipe or
+//! a threaded TCP listener — the exact scheme `mg-server` uses, so a
+//! client cannot tell a router from a shard by transport behaviour.
+
+use crate::router::{write_router_responses, Router, RouterSummary};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs one routed session over arbitrary reader/writer halves (pipe
+/// mode). Returns when the input is exhausted or an in-band `shutdown`
+/// arrives.
+pub fn serve_pipe<R: BufRead, W: Write + Send>(
+    router: &Router,
+    input: R,
+    output: W,
+) -> RouterSummary {
+    router.run_session(input, output)
+}
+
+/// Runs a routed session over the process's stdin/stdout.
+pub fn serve_stdio(router: &Router) -> RouterSummary {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    router.run_session(stdin.lock(), stdout)
+}
+
+/// A running TCP front end for the router.
+pub struct RouterTcpServer {
+    /// The bound address (useful with port 0).
+    pub local_addr: SocketAddr,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl RouterTcpServer {
+    /// Binds `addr` and starts accepting connections, one routed session
+    /// thread per connection over the shared cache and pools.
+    pub fn bind(router: Arc<Router>, addr: &str) -> std::io::Result<RouterTcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::Builder::new()
+            .name("mg-router-accept".into())
+            .spawn(move || accept_loop(&router, &listener))?;
+        Ok(RouterTcpServer {
+            local_addr,
+            accept_thread,
+        })
+    }
+
+    /// Waits for the accept loop (and every session it spawned) to end —
+    /// that is, until an in-band `shutdown` (or
+    /// [`Router::initiate_shutdown`]) stops the router.
+    pub fn join(self) {
+        self.accept_thread.join().expect("accept loop panicked");
+    }
+}
+
+fn accept_loop(router: &Arc<Router>, listener: &TcpListener) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if router.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session_router = router.clone();
+                match std::thread::Builder::new()
+                    .name("mg-router-session".into())
+                    .spawn(move || tcp_session(&session_router, stream))
+                {
+                    Ok(handle) => sessions.push(handle),
+                    Err(_) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+}
+
+/// One TCP connection: a timeout-aware read loop on this thread, the
+/// response writer on a second thread over a cloned stream handle (the
+/// same split as an `mg-server` TCP session).
+fn tcp_session(router: &Arc<Router>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut driver = router.open_session();
+    let shared = driver.shared();
+    let writer = std::thread::Builder::new()
+        .name("mg-router-writer".into())
+        .spawn(move || {
+            let mut out = write_half;
+            write_router_responses(&shared, &mut out)
+        });
+    let Ok(writer) = writer else {
+        driver.finish();
+        return;
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = String::from_utf8_lossy(&buf);
+                let go = driver.handle_line(line.trim_end_matches(['\r', '\n']));
+                buf.clear();
+                if !go {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if router.is_shutting_down() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    driver.finish();
+    if let Ok(written) = writer.join() {
+        driver.record_responses(written);
+    }
+}

@@ -1,0 +1,258 @@
+//! Failure handling and shard diagnostics: reconnect-and-replay against
+//! a flaky shard, typed `shard_unavailable` errors for a lost shard,
+//! `unknown_shard` for bad addressing, shard-tagged stats/error
+//! responses, and the topology-validation seam.
+
+use mg_router::{LocalCluster, Router, RouterConfig, ShardSpec, Topology, TopologyError};
+use mg_server::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::time::Duration;
+
+const PING: &str = "{\"id\":1,\"op\":\"ping\"}\n";
+const PARTITION: &str =
+    "{\"id\":7,\"matrix\":{\"rows\":4,\"cols\":4,\"entries\":[[0,0],[1,1],[2,2],[3,3],[0,3]]}}\n";
+
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        connect_attempts: 2,
+        retry_delay: Duration::from_millis(50),
+        ..RouterConfig::default()
+    }
+}
+
+/// A shard whose first connection reads one request and drops dead
+/// mid-flight; subsequent connections are served by a real engine. The
+/// router must reconnect and replay, and the client must still see the
+/// real answer.
+#[test]
+fn reconnect_and_replay_survives_a_dropped_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let flaky = std::thread::spawn(move || {
+        // First connection: swallow one request line, then hang up.
+        let (first, _) = listener.accept().unwrap();
+        {
+            let mut line = String::new();
+            let mut reader = BufReader::new(first.try_clone().unwrap());
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"id\":7"), "swallowed: {line}");
+            drop(reader);
+            drop(first);
+        }
+        // Second connection: a real serving engine takes over.
+        let service = Service::start(ServiceConfig::default());
+        let (second, _) = listener.accept().unwrap();
+        let reader = BufReader::new(second.try_clone().unwrap());
+        service.run_session(reader, second);
+        service.shutdown_and_join();
+    });
+
+    let topology = Topology::parse(&addr).unwrap();
+    let router = Router::new(topology, fast_config()).unwrap();
+    let mut out = Vec::new();
+    let summary = router.run_session(PARTITION.as_bytes(), &mut out);
+    // Dropping the router closes the pooled connection; the fake shard's
+    // session sees EOF and its thread can finish.
+    drop(router);
+    flaky.join().unwrap();
+
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(summary.forwarded, 1);
+    assert!(
+        text.contains("\"id\":7,\"status\":\"ok\"") && text.contains("\"volume\""),
+        "replayed request must be answered for real: {text}"
+    );
+}
+
+#[test]
+fn a_lost_shard_yields_typed_shard_unavailable_errors() {
+    // Bind and immediately drop a listener: the port is plausibly real
+    // but refuses connections.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let topology = Topology::parse(&format!("lost={addr}")).unwrap();
+    let router = Router::new(topology, fast_config()).unwrap();
+    let mut out = Vec::new();
+    let summary = router.run_session(PARTITION.as_bytes(), &mut out);
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(summary.errors, 1);
+    assert!(text.contains("\"code\":\"shard_unavailable\""), "{text}");
+    assert!(
+        text.contains("\"shard\":\"lost\""),
+        "the failing shard is named: {text}"
+    );
+    assert!(text.contains("\"id\":7"), "the id is echoed: {text}");
+}
+
+#[test]
+fn shard_addressed_stats_carry_the_shard_tag() {
+    let cluster = LocalCluster::spawn(2, |index| ServiceConfig {
+        shard_id: Some(format!("shard-{index}")),
+        ..ServiceConfig::default()
+    });
+    let router = cluster.router(RouterConfig::default());
+    let script = concat!(
+        "{\"id\":1,\"matrix\":{\"rows\":2,\"cols\":2,\"entries\":[[0,0],[1,1]]}}\n",
+        "{\"id\":2,\"op\":\"stats\",\"shard\":\"shard-0\"}\n",
+        "{\"id\":3,\"op\":\"stats\",\"shard\":\"shard-1\"}\n",
+        "{\"id\":4,\"op\":\"stats\",\"shard\":\"nope\"}\n",
+        "{\"id\":5,\"op\":\"stats\",\"shard\":7}\n",
+        "{\"id\":6,\"op\":\"stats\"}\n",
+    );
+    let mut out = Vec::new();
+    router.run_session(script.as_bytes(), &mut out);
+    cluster.shutdown();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6);
+    // Forwarded stats: per-shard counters, tagged with the shard id, and
+    // carrying the new cache/backends fields.
+    assert!(lines[1].contains("\"shard\":\"shard-0\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"cache_misses\":"), "{}", lines[1]);
+    assert!(lines[1].contains("\"backends\":"), "{}", lines[1]);
+    assert!(lines[2].contains("\"shard\":\"shard-1\""), "{}", lines[2]);
+    // Exactly one of the two shards saw the partition request.
+    let received: Vec<bool> = [1, 2]
+        .iter()
+        .map(|&i| lines[i].contains("\"received\":2"))
+        .collect();
+    assert_eq!(
+        received.iter().filter(|&&r| r).count(),
+        1,
+        "the job landed on exactly one shard: {:?} / {:?}",
+        lines[1],
+        lines[2]
+    );
+    // Bad addressing: typed errors.
+    assert!(
+        lines[3].contains("\"code\":\"unknown_shard\""),
+        "{}",
+        lines[3]
+    );
+    assert!(
+        lines[3].contains("shard-0"),
+        "lists the topology: {}",
+        lines[3]
+    );
+    assert!(
+        lines[4].contains("\"code\":\"bad_request\""),
+        "{}",
+        lines[4]
+    );
+    // Router-local stats: topology-independent shape, no shard tag.
+    assert!(
+        lines[5].contains("\"op\":\"stats\",\"received\":6"),
+        "{}",
+        lines[5]
+    );
+    assert!(!lines[5].contains("\"shard\""), "{}", lines[5]);
+}
+
+#[test]
+fn shard_tagged_errors_name_the_rejecting_shard() {
+    let cluster = LocalCluster::spawn(1, |_| ServiceConfig {
+        shard_id: Some("only".into()),
+        ..ServiceConfig::default()
+    });
+    let router = cluster.router(RouterConfig::default());
+    let mut out = Vec::new();
+    router.run_session(
+        &b"{\"id\":9,\"matrix\":{\"collection\":\"missing\"}}\n"[..],
+        &mut out,
+    );
+    cluster.shutdown();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("\"code\":\"unknown_collection\""), "{text}");
+    assert!(text.contains("\"shard\":\"only\""), "{text}");
+}
+
+#[test]
+fn router_cache_short_circuits_repeats_without_recrossing_the_wire() {
+    let cluster = LocalCluster::spawn(2, |_| ServiceConfig::default());
+    let router = cluster.router(RouterConfig::default());
+    // Session 1 computes; session 2 repeats the same request and must be
+    // served from the router cache (the summary counts it), with the
+    // response marked cached and re-issued under the new id.
+    let mut first = Vec::new();
+    let s1 = router.run_session(PARTITION.as_bytes(), &mut first);
+    assert_eq!(s1.cache_hits, 0);
+    assert_eq!(s1.forwarded, 1);
+    let repeat = PARTITION.replace("\"id\":7", "\"id\":\"again\"");
+    let mut second = Vec::new();
+    let s2 = router.run_session(repeat.as_bytes(), &mut second);
+    cluster.shutdown();
+    assert_eq!(s2.cache_hits, 1, "router LRU must answer the repeat");
+    assert_eq!(s2.forwarded, 0);
+    let first = String::from_utf8(first).unwrap();
+    let second = String::from_utf8(second).unwrap();
+    assert!(second.contains("\"id\":\"again\""), "{second}");
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        second.replace("\"id\":\"again\"", "\"id\":7"),
+        first.replace("\"cached\":false", "\"cached\":true"),
+        "a cache hit is the original line modulo id and cached flag"
+    );
+}
+
+#[test]
+fn in_band_shutdown_drains_the_shards_too() {
+    let cluster = LocalCluster::spawn(2, |_| ServiceConfig::default());
+    let router = cluster.router(RouterConfig::default());
+    let script = format!("{PARTITION}{{\"id\":99,\"op\":\"shutdown\"}}\n");
+    let mut out = Vec::new();
+    router.run_session(script.as_bytes(), &mut out);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("\"id\":7,\"status\":\"ok\""), "{text}");
+    assert!(
+        text.ends_with("{\"id\":99,\"status\":\"ok\",\"op\":\"shutdown\"}\n"),
+        "shutdown acks last: {text}"
+    );
+    assert!(router.is_shutting_down());
+    // Every shard engine saw the forwarded shutdown: joining the TCP
+    // front ends returns promptly instead of hanging on live accept
+    // loops.
+    for shard in &cluster.shards {
+        assert!(shard.is_shutting_down());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn topology_validation_is_a_typed_seam() {
+    assert_eq!(Topology::parse(""), Err(TopologyError::Empty));
+    let dup = Topology::new(vec![
+        ShardSpec {
+            id: "a".into(),
+            addr: "h:1".into(),
+            capacity: 1,
+        },
+        ShardSpec {
+            id: "a".into(),
+            addr: "h:2".into(),
+            capacity: 1,
+        },
+    ]);
+    assert_eq!(dup, Err(TopologyError::DuplicateId("a".into())));
+    // And a Router cannot be built around the seam: Topology is the only
+    // way in, so an invalid topology never reaches Router::new.
+    let ok = Topology::parse("127.0.0.1:1").unwrap();
+    assert!(Router::new(ok, RouterConfig::default()).is_ok());
+}
+
+#[test]
+fn sequential_sessions_reuse_pooled_connections() {
+    let cluster = LocalCluster::spawn(1, |_| ServiceConfig::default());
+    let router = cluster.router(RouterConfig::default());
+    for i in 0..3 {
+        let mut out = Vec::new();
+        let script = PARTITION.replace("\"id\":7", &format!("\"id\":{i}"));
+        let mut with_ping = script;
+        with_ping.push_str(PING);
+        let summary = router.run_session(with_ping.as_bytes(), &mut out);
+        assert_eq!(summary.responses, 2, "session {i}");
+    }
+    cluster.shutdown();
+}

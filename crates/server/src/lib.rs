@@ -50,7 +50,7 @@ pub use cache::LruCache;
 pub use json::{Json, JsonError};
 pub use protocol::{
     error_response, ok_response, op_response, parse_request_line, stats_response, Request,
-    RequestError, DEFAULT_EPSILON, DEFAULT_METHOD,
+    RequestError, StatsSnapshot, DEFAULT_EPSILON, DEFAULT_METHOD,
 };
 pub use service::{Service, ServiceConfig, SessionDriver, SessionSummary};
 pub use transport::{serve_pipe, serve_stdio, TcpServer};

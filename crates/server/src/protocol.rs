@@ -23,6 +23,10 @@ pub struct Request {
     pub op: RequestOp,
     /// The partition job; present iff `op == Partition`.
     pub spec: Option<PartitionSpec>,
+    /// Shard addressing of a `stats` request (`{"op":"stats","shard":
+    /// "s1"}`): a router forwards the line to the named shard; a plain
+    /// server answers with its own counters regardless.
+    pub shard: Option<String>,
 }
 
 /// A request that failed to decode: the (best-effort) id to echo plus the
@@ -91,8 +95,31 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             ))
         }
     };
+    let shard = match doc.get("shard") {
+        None => None,
+        Some(Json::Str(s)) if op == RequestOp::Stats => Some(s.clone()),
+        Some(_) if op == RequestOp::Stats => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"shard\" must be a string",
+            ))
+        }
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"shard\" only applies to stats requests",
+            ))
+        }
+    };
     if op != RequestOp::Partition {
-        return Ok(Request { id, op, spec: None });
+        return Ok(Request {
+            id,
+            op,
+            spec: None,
+            shard,
+        });
     }
 
     let method_name = match doc.get("method") {
@@ -180,6 +207,7 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             seed,
             include_partition,
         }),
+        shard: None,
     })
 }
 
@@ -345,15 +373,21 @@ pub fn ok_response(
     obj(fields).to_string()
 }
 
-/// Encodes an error response line.
-pub fn error_response(id: &Json, code: ErrorCode, message: &str) -> String {
-    obj(vec![
+/// Encodes an error response line. `shard` is the serving shard's
+/// diagnostic tag (`--shard-id`), appended so a client behind a router
+/// can see which shard rejected the request; untagged servers (the
+/// default) omit the field entirely.
+pub fn error_response(id: &Json, code: ErrorCode, message: &str, shard: Option<&str>) -> String {
+    let mut fields = vec![
         ("id", id.clone()),
         ("status", Json::Str("error".into())),
         ("code", Json::Str(code.as_str().into())),
         ("message", Json::Str(message.into())),
-    ])
-    .to_string()
+    ];
+    if let Some(shard) = shard {
+        fields.push(("shard", Json::Str(shard.into())));
+    }
+    obj(fields).to_string()
 }
 
 /// Encodes the response to a `ping` / `shutdown` op.
@@ -366,20 +400,58 @@ pub fn op_response(id: &Json, op: &str) -> String {
     .to_string()
 }
 
-/// Encodes the response to a `stats` op. The counters reflect the session
-/// stream strictly *up to and including* this request, so the line is a
-/// pure function of the request prefix — deterministic like every other
-/// response.
-pub fn stats_response(id: &Json, received: u64, cache_hits: u64, errors: u64) -> String {
-    obj(vec![
+/// Session counters snapshotted when a `stats` request is decoded; all
+/// four are decided at submission time in stream order, so they are a
+/// pure function of the request prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Request lines decoded so far (including this one).
+    pub received: u64,
+    /// Partition requests served from the cache or coalesced onto an
+    /// in-flight twin.
+    pub cache_hits: u64,
+    /// Partition requests that missed the cache and queued a fresh job.
+    pub cache_misses: u64,
+    /// Error responses so far.
+    pub errors: u64,
+}
+
+/// Encodes the response to a `stats` op. The snapshot counters reflect
+/// the session stream strictly *up to and including* this request;
+/// `completed` counts the jobs *computed* (not cache-served) per backend
+/// among the responses delivered before this line — also a pure function
+/// of the request prefix, because responses are delivered in submission
+/// order. Backends with zero completed jobs are omitted; `shard` is the
+/// serving shard's diagnostic tag, omitted when the server is untagged.
+pub fn stats_response(
+    id: &Json,
+    snapshot: StatsSnapshot,
+    completed: &[(&'static str, u64)],
+    shard: Option<&str>,
+) -> String {
+    let mut fields = vec![
         ("id", id.clone()),
         ("status", Json::Str("ok".into())),
         ("op", Json::Str("stats".into())),
-        ("received", Json::UInt(received)),
-        ("cache_hits", Json::UInt(cache_hits)),
-        ("errors", Json::UInt(errors)),
-    ])
-    .to_string()
+        ("received", Json::UInt(snapshot.received)),
+        ("cache_hits", Json::UInt(snapshot.cache_hits)),
+        ("cache_misses", Json::UInt(snapshot.cache_misses)),
+        ("errors", Json::UInt(snapshot.errors)),
+        (
+            "backends",
+            Json::Obj(
+                completed
+                    .iter()
+                    .filter(|(_, count)| *count > 0)
+                    .map(|(name, count)| (name.to_string(), Json::UInt(*count)))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(shard) = shard {
+        fields.push(("shard", Json::Str(shard.into())));
+    }
+    obj(fields).to_string()
 }
 
 #[cfg(test)]
@@ -459,7 +531,7 @@ mod tests {
             "message lists the registry: {}",
             err.message
         );
-        let line = error_response(&err.id, err.code, &err.message);
+        let line = error_response(&err.id, err.code, &err.message, None);
         assert!(line.contains("\"code\":\"unknown_backend\""));
     }
 
@@ -473,7 +545,21 @@ mod tests {
             let r = parse_request_line(&format!(r#"{{"id":"x","op":"{op}"}}"#)).unwrap();
             assert_eq!(r.op, expected);
             assert!(r.spec.is_none());
+            assert!(r.shard.is_none());
         }
+    }
+
+    #[test]
+    fn decodes_shard_addressed_stats() {
+        let r = parse_request_line(r#"{"op":"stats","shard":"s1"}"#).unwrap();
+        assert_eq!(r.op, RequestOp::Stats);
+        assert_eq!(r.shard.as_deref(), Some("s1"));
+        let bad = parse_request_line(r#"{"op":"stats","shard":7}"#).unwrap_err();
+        assert_eq!(bad.code, ErrorCode::BadRequest);
+        assert!(bad.message.contains("string"), "{}", bad.message);
+        let misplaced = parse_request_line(r#"{"op":"ping","shard":"s1"}"#).unwrap_err();
+        assert_eq!(misplaced.code, ErrorCode::BadRequest);
+        assert!(misplaced.message.contains("stats"), "{}", misplaced.message);
     }
 
     #[test]
@@ -524,8 +610,20 @@ mod tests {
     fn request_ids_are_echoed_even_on_errors() {
         let err = parse_request_line(r#"{"id":"req-9","op":"dance"}"#).unwrap_err();
         assert_eq!(err.id, Json::Str("req-9".into()));
-        let line = error_response(&err.id, err.code, &err.message);
+        let line = error_response(&err.id, err.code, &err.message, None);
         assert!(line.starts_with(r#"{"id":"req-9","status":"error","code":"unsupported""#));
+        assert!(!line.contains("shard"), "untagged servers omit the field");
+    }
+
+    #[test]
+    fn shard_tags_append_to_error_responses() {
+        let line = error_response(
+            &Json::UInt(4),
+            ErrorCode::UnknownCollection,
+            "no such matrix",
+            Some("s1"),
+        );
+        assert!(line.ends_with(r#","shard":"s1"}"#), "{line}");
     }
 
     #[test]
@@ -564,9 +662,26 @@ mod tests {
 
     #[test]
     fn stats_and_op_responses_are_deterministic() {
+        let snapshot = StatsSnapshot {
+            received: 3,
+            cache_hits: 1,
+            cache_misses: 1,
+            errors: 0,
+        };
         assert_eq!(
-            stats_response(&Json::UInt(3), 3, 1, 0),
-            r#"{"id":3,"status":"ok","op":"stats","received":3,"cache_hits":1,"errors":0}"#
+            stats_response(
+                &Json::UInt(3),
+                snapshot,
+                &[("mondriaan", 1), ("patoh", 0)],
+                None
+            ),
+            "{\"id\":3,\"status\":\"ok\",\"op\":\"stats\",\"received\":3,\"cache_hits\":1,\
+             \"cache_misses\":1,\"errors\":0,\"backends\":{\"mondriaan\":1}}"
+        );
+        assert_eq!(
+            stats_response(&Json::UInt(3), snapshot, &[], Some("s0")),
+            "{\"id\":3,\"status\":\"ok\",\"op\":\"stats\",\"received\":3,\"cache_hits\":1,\
+             \"cache_misses\":1,\"errors\":0,\"backends\":{},\"shard\":\"s0\"}"
         );
         assert_eq!(
             op_response(&Json::Null, "ping"),

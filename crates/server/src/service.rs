@@ -38,7 +38,7 @@ use crate::protocol;
 use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
 use mg_core::service::{matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, RequestOp};
 use mg_core::{parse_backend, Method, PartitionBackend, DEFAULT_BACKEND};
-use mg_sparse::{io, load_imbalance, Coo};
+use mg_sparse::{load_imbalance, Coo};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Condvar, Mutex};
@@ -67,6 +67,11 @@ pub struct ServiceConfig {
     pub collection: CollectionSpec,
     /// Append a non-deterministic `time_ms` field to computed responses.
     pub timing: bool,
+    /// Diagnostic shard tag (`mgpart serve --shard-id`): when set, stats
+    /// and error responses carry a `"shard"` field so clients behind a
+    /// router can attribute them. `None` (the default) leaves every
+    /// response byte-identical to an untagged server.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +85,7 @@ impl Default for ServiceConfig {
             default_backend: DEFAULT_BACKEND,
             collection: CollectionSpec::default(),
             timing: false,
+            shard_id: None,
         }
     }
 }
@@ -209,23 +215,20 @@ impl Engine {
     }
 
     fn resolve_matrix(&self, payload: &MatrixPayload) -> Result<Arc<Coo>, (ErrorCode, String)> {
-        match payload {
-            MatrixPayload::Inline {
-                rows,
-                cols,
-                entries,
-            } => Coo::new(*rows, *cols, entries.clone())
-                .map(Arc::new)
-                .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
-            MatrixPayload::Collection(name) => self.collection_matrix(name).ok_or_else(|| {
-                (
-                    ErrorCode::UnknownCollection,
-                    format!("no collection matrix named {name:?}"),
-                )
-            }),
-            MatrixPayload::MatrixMarket(text) => io::read_matrix_market(text.as_bytes())
-                .map(Arc::new)
-                .map_err(|e| (ErrorCode::BadMatrix, e.to_string())),
+        // The decode path is shared with the router's placement-key
+        // extraction (mg_core::service), so both reject a malformed
+        // payload with byte-identical (code, message) pairs.
+        match mg_core::service::payload_matrix(payload)? {
+            Some(matrix) => Ok(Arc::new(matrix)),
+            None => match payload {
+                MatrixPayload::Collection(name) => self.collection_matrix(name).ok_or_else(|| {
+                    (
+                        ErrorCode::UnknownCollection,
+                        format!("no collection matrix named {name:?}"),
+                    )
+                }),
+                _ => unreachable!("payload_matrix returns None only for collections"),
+            },
         }
     }
 }
@@ -381,6 +384,8 @@ pub struct SessionSummary {
     /// Requests served from the cache or coalesced onto an in-flight
     /// twin (`cached: true` responses).
     pub cache_hits: u64,
+    /// Partition requests that missed the cache and queued fresh work.
+    pub cache_misses: u64,
     /// Error responses.
     pub errors: u64,
 }
@@ -450,7 +455,7 @@ impl Service {
     pub fn open_session(&self) -> SessionDriver<'_> {
         SessionDriver {
             service: self,
-            shared: Arc::new(SessionShared::default()),
+            shared: Arc::new(SessionShared::new(self.engine.config.shard_id.clone())),
             summary: SessionSummary::default(),
             next_index: 0,
         }
@@ -491,6 +496,37 @@ impl Drop for Service {
     }
 }
 
+/// One response slot: empty until its request resolves.
+///
+/// `Stats` slots are *deferred*: the snapshot counters are fixed at
+/// decode time, but the per-backend completed-job counts are only known
+/// once every preceding response has been delivered — which is exactly
+/// when the writer reaches the slot, since responses stream in submission
+/// order. Rendering there keeps the line a pure function of the request
+/// prefix at any thread count.
+enum Slot {
+    /// Request decoded, response not resolved yet.
+    Pending,
+    /// A finished response line; `computed` names the backend when the
+    /// line is a freshly computed (not cache-served) partition result, so
+    /// the writer can tally per-backend completions in stream order.
+    Ready {
+        line: String,
+        computed: Option<&'static str>,
+    },
+    /// A `stats` request, rendered by the writer when it reaches it.
+    Stats {
+        id: Json,
+        snapshot: protocol::StatsSnapshot,
+    },
+}
+
+impl Slot {
+    fn is_resolved(&self) -> bool {
+        !matches!(self, Slot::Pending)
+    }
+}
+
 /// Response slots of one session: a sliding window of pending lines.
 /// `base` is the submission index of `slots[0]`; the writer pops from the
 /// front as lines become ready, so memory stays bounded by the in-flight
@@ -498,30 +534,57 @@ impl Drop for Service {
 #[derive(Default)]
 struct SessionSlots {
     base: u64,
-    slots: VecDeque<Option<String>>,
+    slots: VecDeque<Slot>,
     input_done: bool,
 }
 
-#[derive(Default)]
 pub(crate) struct SessionShared {
     state: Mutex<SessionSlots>,
     ready: Condvar,
+    /// The server's diagnostic shard tag, echoed on stats lines.
+    shard: Option<String>,
 }
 
 impl SessionShared {
+    fn new(shard: Option<String>) -> Self {
+        SessionShared {
+            state: Mutex::new(SessionSlots::default()),
+            ready: Condvar::new(),
+            shard,
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionSlots> {
         self.state.lock().expect("session mutex poisoned")
     }
 
     fn push_pending(&self) {
-        self.lock().slots.push_back(None);
+        self.lock().slots.push_back(Slot::Pending);
+    }
+
+    fn set_slot(&self, index: u64, slot: Slot) {
+        let mut state = self.lock();
+        let offset = (index - state.base) as usize;
+        state.slots[offset] = slot;
+        self.ready.notify_all();
     }
 
     fn set(&self, index: u64, line: String) {
-        let mut state = self.lock();
-        let offset = (index - state.base) as usize;
-        state.slots[offset] = Some(line);
-        self.ready.notify_all();
+        self.set_slot(
+            index,
+            Slot::Ready {
+                line,
+                computed: None,
+            },
+        );
+    }
+
+    fn set_computed(&self, index: u64, line: String, computed: Option<&'static str>) {
+        self.set_slot(index, Slot::Ready { line, computed });
+    }
+
+    fn set_stats(&self, index: u64, id: Json, snapshot: protocol::StatsSnapshot) {
+        self.set_slot(index, Slot::Stats { id, snapshot });
     }
 
     fn finish_input(&self) {
@@ -531,15 +594,21 @@ impl SessionShared {
 }
 
 /// Writer half of a session: emits ready responses in submission order,
-/// flushing after each line so clients see results as they land. Returns
-/// the number of responses written.
+/// flushing after each line so clients see results as they land. Tallies
+/// freshly computed jobs per backend as the lines pass (so a deferred
+/// `stats` slot reports exactly the completions among its prefix), and
+/// returns the number of responses written.
 pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) -> u64 {
     let mut written = 0u64;
+    let mut completed: Vec<(&'static str, u64)> = mg_core::all_backends()
+        .iter()
+        .map(|b| (b.name(), 0u64))
+        .collect();
     loop {
-        let line = {
+        let slot = {
             let mut state = shared.lock();
             loop {
-                if matches!(state.slots.front(), Some(Some(_))) {
+                if matches!(state.slots.front(), Some(slot) if slot.is_resolved()) {
                     break;
                 }
                 if state.input_done && state.slots.front().is_none() {
@@ -548,11 +617,21 @@ pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) 
                 state = shared.ready.wait(state).expect("session mutex poisoned");
             }
             state.base += 1;
-            state
-                .slots
-                .pop_front()
-                .expect("checked front")
-                .expect("checked ready")
+            state.slots.pop_front().expect("checked front")
+        };
+        let line = match slot {
+            Slot::Pending => unreachable!("writer only pops resolved slots"),
+            Slot::Ready { line, computed } => {
+                if let Some(backend) = computed {
+                    if let Some(entry) = completed.iter_mut().find(|(name, _)| *name == backend) {
+                        entry.1 += 1;
+                    }
+                }
+                line
+            }
+            Slot::Stats { id, snapshot } => {
+                protocol::stats_response(&id, snapshot, &completed, shared.shard.as_deref())
+            }
         };
         // A broken pipe means the client is gone; keep draining slots so
         // the session still terminates cleanly.
@@ -598,8 +677,10 @@ impl SessionDriver<'_> {
             Ok(request) => request,
             Err(e) => {
                 self.summary.errors += 1;
-                self.shared
-                    .set(index, protocol::error_response(&e.id, e.code, &e.message));
+                self.shared.set(
+                    index,
+                    protocol::error_response(&e.id, e.code, &e.message, self.shard()),
+                );
                 return true;
             }
         };
@@ -610,14 +691,18 @@ impl SessionDriver<'_> {
                 true
             }
             RequestOp::Stats => {
-                self.shared.set(
+                // The snapshot counters are fixed now (in stream order);
+                // the per-backend completed counts are filled in by the
+                // writer when every preceding response has been delivered.
+                self.shared.set_stats(
                     index,
-                    protocol::stats_response(
-                        &request.id,
-                        self.summary.received,
-                        self.summary.cache_hits,
-                        self.summary.errors,
-                    ),
+                    request.id,
+                    protocol::StatsSnapshot {
+                        received: self.summary.received,
+                        cache_hits: self.summary.cache_hits,
+                        cache_misses: self.summary.cache_misses,
+                        errors: self.summary.errors,
+                    },
                 );
                 true
             }
@@ -635,14 +720,20 @@ impl SessionDriver<'_> {
         }
     }
 
+    fn shard(&self) -> Option<&str> {
+        self.service.engine.config.shard_id.as_deref()
+    }
+
     fn submit_partition(&mut self, index: u64, id: Json, spec: mg_core::service::PartitionSpec) {
         let engine = &self.service.engine;
         let matrix = match engine.resolve_matrix(&spec.matrix) {
             Ok(matrix) => matrix,
             Err((code, message)) => {
                 self.summary.errors += 1;
-                self.shared
-                    .set(index, protocol::error_response(&id, code, &message));
+                self.shared.set(
+                    index,
+                    protocol::error_response(&id, code, &message, self.shard()),
+                );
                 return;
             }
         };
@@ -669,14 +760,18 @@ impl SessionDriver<'_> {
             let time_ms = timing.then_some(secs * 1000.0);
             let line =
                 protocol::ok_response(&deliver_id, &outcome, cached, include_partition, time_ms);
-            shared.set(index, line);
+            // Tag freshly computed lines with their backend so the writer
+            // can tally per-backend completions for deferred stats slots.
+            shared.set_computed(index, line, (!cached).then_some(outcome.backend));
         });
 
         match engine.submit(key, backend, matrix, deliver) {
             SubmitOutcome::CacheHit | SubmitOutcome::Follower => {
                 self.summary.cache_hits += 1;
             }
-            SubmitOutcome::Queued => {}
+            SubmitOutcome::Queued => {
+                self.summary.cache_misses += 1;
+            }
             SubmitOutcome::Rejected => {
                 self.summary.errors += 1;
                 self.shared.set(
@@ -685,6 +780,7 @@ impl SessionDriver<'_> {
                         &id,
                         ErrorCode::ShuttingDown,
                         "server is draining; request rejected",
+                        self.shard(),
                     ),
                 );
             }
