@@ -39,6 +39,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--window",
     "--heavy-cost",
     "--shard",
+    "--replicas",
+    "--probe-interval",
+    "--read-deadline",
+    // request:
+    "--timeout",
 ];
 
 impl Parsed {

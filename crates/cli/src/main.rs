@@ -107,6 +107,15 @@ ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
                 no backend field  (default mondriaan; match the shards')
   --heavy-cost C  estimated-cost threshold that biases placement of
                   expensive jobs toward high-capacity shards (default 10000000)
+  --replicas R  replication factor: each key's top-R rendezvous ranks form
+                its replica set; requests go to the best-ranked live
+                replica and fail over down the ranking on shard death
+                (default 1 = single-owner placement, prober disabled)
+  --probe-interval S  seconds between background health probes (ping per
+                      shard; only runs with --replicas > 1; default 0.5)
+  --read-deadline S   seconds a forwarded request may stay unanswered
+                      before its replica is declared dead and the request
+                      fails over (default: wait forever)
 
 REQUEST OPTIONS:
   ADDR          server address; omit with --print to just emit the JSON line
@@ -122,6 +131,10 @@ REQUEST OPTIONS:
   --op OP       partition | ping | stats | shutdown  (default partition)
   --shard ID    address a stats request to one shard of a router topology
   --include-partition    ask for the full per-nonzero assignment
+  --timeout S   read deadline in seconds; a server that accepts the
+                connection but never answers yields a typed
+                request_timeout error line and a nonzero exit
+                (default: wait forever)
   --print       print the request line instead of sending it
 
 GENERATE FAMILIES:
@@ -436,16 +449,35 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a duration flag given in (fractional) seconds.
+fn seconds_flag(parsed: &Parsed, name: &str) -> Result<Option<std::time::Duration>, String> {
+    let Some(raw) = parsed.flag_opt(name) else {
+        return Ok(None);
+    };
+    let seconds: f64 = raw
+        .parse()
+        .map_err(|e| format!("bad value for {name}: {e}"))?;
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(format!("{name} must be a non-negative number of seconds"));
+    }
+    Ok(Some(std::time::Duration::from_secs_f64(seconds)))
+}
+
 fn route(parsed: &Parsed) -> Result<(), String> {
     // A missing --shards list is the empty topology: same typed error,
     // nonzero exit.
     let topology = Topology::parse(&parsed.flag("--shards", ""))
         .map_err(|e| format!("topology error: {e}"))?;
+    let probe_interval =
+        seconds_flag(parsed, "--probe-interval")?.unwrap_or(RouterConfig::default().probe_interval);
     let config = RouterConfig {
         window: parsed.flag_parse("--window", 64usize)?,
         cache_capacity: parsed.flag_parse("--cache", 128usize)?,
         default_backend: backend_from_flags(parsed)?.name(),
         heavy_cost: parsed.flag_parse("--heavy-cost", RouterConfig::default().heavy_cost)?,
+        replicas: parsed.flag_parse("--replicas", 1usize)?,
+        probe_interval,
+        read_deadline: seconds_flag(parsed, "--read-deadline")?,
         ..RouterConfig::default()
     };
     let shard_count = topology.len();
@@ -556,11 +588,17 @@ fn request(parsed: &Parsed) -> Result<(), String> {
             ))
         }
     }
+    let request_id = fields
+        .iter()
+        .find(|(name, _)| *name == "id")
+        .map(|(_, id)| id.clone())
+        .unwrap_or(Json::Null);
     let line = obj(fields).to_string();
     if parsed.has("--print") {
         println!("{line}");
         return Ok(());
     }
+    let timeout = seconds_flag(parsed, "--timeout")?.filter(|t| !t.is_zero());
 
     let addr = parsed.positional(0, "server address (or use --print)")?;
     // An unreachable endpoint is a *typed* protocol-shaped error line on
@@ -585,6 +623,15 @@ fn request(parsed: &Parsed) -> Result<(), String> {
             .and_then(|()| stream.flush())
             .map_err(|e| format!("sending request: {e}"))?;
     }
+    // --timeout: a server that accepts the connection but never answers
+    // must not hang the client forever — surface a *typed* error line
+    // (code `request_timeout`, echoing the request id) plus a nonzero
+    // exit, exactly like `connection_refused` above.
+    if let Some(timeout) = timeout {
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("setting --timeout: {e}"))?;
+    }
     let mut reader = std::io::BufReader::new(
         stream
             .try_clone()
@@ -593,9 +640,29 @@ fn request(parsed: &Parsed) -> Result<(), String> {
     let mut response = String::new();
     {
         use std::io::BufRead as _;
-        reader
-            .read_line(&mut response)
-            .map_err(|e| format!("reading response: {e}"))?;
+        reader.read_line(&mut response).map_err(|e| {
+            let timed_out = timeout.filter(|_| {
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                )
+            });
+            if let Some(t) = timed_out {
+                let secs = t.as_secs_f64();
+                println!(
+                    "{}",
+                    error_response(
+                        &request_id,
+                        ErrorCode::RequestTimeout,
+                        &format!("no response from {addr} within {secs:.3}s"),
+                        None,
+                    )
+                );
+                format!("request timed out after {secs:.3}s")
+            } else {
+                format!("reading response: {e}")
+            }
+        })?;
     }
     if response.is_empty() {
         return Err("server closed the connection without a response".into());

@@ -125,6 +125,72 @@ fn request_against_a_dead_endpoint_exits_nonzero_with_a_typed_error() {
 }
 
 #[test]
+fn request_timeout_exits_nonzero_with_a_typed_error() {
+    // A listener that accepts the connection but never answers: without
+    // --timeout this would hang forever; with it, the client emits a
+    // typed request_timeout line and exits nonzero.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let silent = std::thread::spawn(move || {
+        // Accept and hold the connection open without responding until
+        // the client hangs up.
+        let (stream, _) = listener.accept().unwrap();
+        let mut sink = Vec::new();
+        use std::io::Read as _;
+        let _ = std::io::BufReader::new(stream).read_to_end(&mut sink);
+    });
+    let out = mgpart(&[
+        "request",
+        &addr,
+        "--op",
+        "ping",
+        "--id",
+        "42",
+        "--timeout",
+        "0.2",
+    ]);
+    silent.join().unwrap();
+    assert!(
+        !out.status.success(),
+        "a timed-out request must not exit 0 (stdout: {})",
+        stdout(&out)
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let body = stdout(&out);
+    let line = body.lines().next().unwrap_or_default();
+    assert!(
+        line.starts_with("{\"id\":42,\"status\":\"error\",\"code\":\"request_timeout\""),
+        "stdout carries the typed error line: {body}"
+    );
+    assert!(line.contains(&addr), "the address is named: {line}");
+    assert!(stderr(&out).contains("timed out"), "stderr still explains");
+}
+
+#[test]
+fn route_rejects_out_of_range_capacities_with_a_typed_error() {
+    for shards in ["a=127.0.0.1:1*0", "a=127.0.0.1:1*4000000000"] {
+        let out = mgpart(&["route", "--shards", shards]);
+        assert!(!out.status.success(), "{shards:?} must exit nonzero");
+        let err = stderr(&out);
+        assert!(
+            err.contains("topology error") && err.contains("invalid capacity"),
+            "{shards:?} stderr: {err}"
+        );
+    }
+}
+
+#[test]
+fn route_rejects_zero_replicas_with_a_typed_error() {
+    let out = mgpart(&["route", "--shards", "127.0.0.1:1", "--replicas", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("replicas"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn route_rejects_zero_shard_topologies_with_a_typed_error() {
     for args in [vec!["route"], vec!["route", "--shards", " , "]] {
         let out = mgpart(&args);

@@ -133,6 +133,12 @@ pub enum ErrorCode {
     /// The request addressed a shard id that is not part of the router's
     /// topology.
     UnknownShard,
+    /// A client-side read deadline expired (`mgpart request --timeout`):
+    /// the endpoint accepted the connection but never answered.
+    RequestTimeout,
+    /// An internal worker failed (e.g. panicked) while the request was in
+    /// flight; the request was lost but the session keeps draining.
+    Internal,
 }
 
 impl ErrorCode {
@@ -150,6 +156,8 @@ impl ErrorCode {
             ErrorCode::ConnectionRefused => "connection_refused",
             ErrorCode::ShardUnavailable => "shard_unavailable",
             ErrorCode::UnknownShard => "unknown_shard",
+            ErrorCode::RequestTimeout => "request_timeout",
+            ErrorCode::Internal => "internal",
         }
     }
 }
@@ -292,6 +300,8 @@ mod tests {
         assert_eq!(ErrorCode::ConnectionRefused.as_str(), "connection_refused");
         assert_eq!(ErrorCode::ShardUnavailable.as_str(), "shard_unavailable");
         assert_eq!(ErrorCode::UnknownShard.as_str(), "unknown_shard");
+        assert_eq!(ErrorCode::RequestTimeout.as_str(), "request_timeout");
+        assert_eq!(ErrorCode::Internal.as_str(), "internal");
     }
 
     #[test]

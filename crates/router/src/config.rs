@@ -38,11 +38,24 @@ pub enum TopologyError {
     /// Two shards share an address; one process would own 2× the keys
     /// silently.
     DuplicateAddr(String),
-    /// A shard capacity of 0 would never attract any key.
-    ZeroCapacity(String),
+    /// A shard capacity outside `1..=`[`MAX_SHARD_CAPACITY`]: capacity 0
+    /// can never win a rendezvous score (the shard would silently attract
+    /// no keys), and absurdly large capacities degrade the weighted-score
+    /// arithmetic (capacities are squared for heavy jobs).
+    InvalidCapacity {
+        /// The offending shard's id.
+        id: String,
+        /// The rejected capacity as written.
+        capacity: u64,
+    },
     /// A `--shards` element that does not parse as `[id=]host:port[*cap]`.
     BadSpec(String),
 }
+
+/// Largest accepted shard capacity. Far above any sane weight ratio, yet
+/// small enough that capacity² (the heavy-job bias) stays comfortably
+/// inside exact `f64` integer range.
+pub const MAX_SHARD_CAPACITY: u32 = 1_000_000;
 
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -54,8 +67,12 @@ impl fmt::Display for TopologyError {
             TopologyError::DuplicateAddr(addr) => {
                 write!(f, "topology lists shard address {addr:?} more than once")
             }
-            TopologyError::ZeroCapacity(id) => {
-                write!(f, "shard {id:?} has capacity 0; capacities must be >= 1")
+            TopologyError::InvalidCapacity { id, capacity } => {
+                write!(
+                    f,
+                    "shard {id:?} has invalid capacity {capacity}; capacities must be \
+                     between 1 and {MAX_SHARD_CAPACITY}"
+                )
             }
             TopologyError::BadSpec(spec) => {
                 write!(
@@ -78,8 +95,11 @@ impl Topology {
         let mut ids = std::collections::HashSet::new();
         let mut addrs = std::collections::HashSet::new();
         for shard in &shards {
-            if shard.capacity == 0 {
-                return Err(TopologyError::ZeroCapacity(shard.id.clone()));
+            if shard.capacity == 0 || shard.capacity > MAX_SHARD_CAPACITY {
+                return Err(TopologyError::InvalidCapacity {
+                    id: shard.id.clone(),
+                    capacity: u64::from(shard.capacity),
+                });
             }
             if !ids.insert(shard.id.as_str()) {
                 return Err(TopologyError::DuplicateId(shard.id.clone()));
@@ -109,10 +129,16 @@ impl Topology {
             };
             let (addr, capacity) = match rest.split_once('*') {
                 Some((addr, cap)) => {
-                    let capacity: u32 = cap
+                    // Parse wide so `*0` and absurdly large capacities
+                    // both fail as *capacity* errors (not generic parse
+                    // errors); Topology::new range-checks the narrow copy.
+                    let wide: u64 = cap
                         .parse()
                         .map_err(|_| TopologyError::BadSpec(raw.to_string()))?;
-                    (addr, capacity)
+                    if wide == 0 || wide > u64::from(MAX_SHARD_CAPACITY) {
+                        return Err(TopologyError::InvalidCapacity { id, capacity: wide });
+                    }
+                    (addr, wide as u32)
                 }
                 None => (rest, 1),
             };
@@ -194,16 +220,61 @@ mod tests {
 
     #[test]
     fn malformed_specs_are_typed_errors() {
-        for bad in ["noport", "x=*2", "a=h:1*many", "=h:1"] {
+        for bad in ["noport", "x=*2", "a=h:1*many", "a=h:1*-3", "=h:1"] {
             assert!(
                 matches!(Topology::parse(bad), Err(TopologyError::BadSpec(_))),
                 "{bad:?} should be a BadSpec"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_capacities_are_typed_invalid_capacity_errors() {
+        // Zero would never win a rendezvous score; absurdly large values
+        // degrade the weighting arithmetic. Both reject as InvalidCapacity.
         assert_eq!(
             Topology::parse("a=h:1*0"),
-            Err(TopologyError::ZeroCapacity("a".into()))
+            Err(TopologyError::InvalidCapacity {
+                id: "a".into(),
+                capacity: 0,
+            })
         );
+        assert_eq!(
+            Topology::parse("h:1*18446744073709551615"),
+            Err(TopologyError::InvalidCapacity {
+                id: "s0".into(),
+                capacity: u64::MAX,
+            })
+        );
+        assert_eq!(
+            Topology::parse(&format!("big=h:1*{}", u64::from(MAX_SHARD_CAPACITY) + 1)),
+            Err(TopologyError::InvalidCapacity {
+                id: "big".into(),
+                capacity: u64::from(MAX_SHARD_CAPACITY) + 1,
+            })
+        );
+        // The boundary itself is accepted.
+        let t = Topology::parse(&format!("h:1*{MAX_SHARD_CAPACITY}")).unwrap();
+        assert_eq!(t.shards()[0].capacity, MAX_SHARD_CAPACITY);
+        // The constructed (non-parsed) path range-checks too.
+        let direct = Topology::new(vec![ShardSpec {
+            id: "x".into(),
+            addr: "h:9".into(),
+            capacity: 0,
+        }]);
+        assert_eq!(
+            direct,
+            Err(TopologyError::InvalidCapacity {
+                id: "x".into(),
+                capacity: 0,
+            })
+        );
+        assert!(TopologyError::InvalidCapacity {
+            id: "x".into(),
+            capacity: 0,
+        }
+        .to_string()
+        .contains("invalid capacity 0"));
     }
 
     #[test]

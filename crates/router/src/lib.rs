@@ -21,10 +21,18 @@
 //! requests after a reconnect; a bounded in-flight window per shard
 //! provides backpressure.
 //!
+//! With `--replicas R` the top-R rendezvous ranks of each key form its
+//! **replica set**: requests go to the best-ranked replica currently
+//! believed alive (a background `ping` prober plus connection outcomes
+//! maintain liveness), and when a replica dies its in-order pending
+//! queue is replayed against the next rank — invisible to clients,
+//! because every replica computes byte-identical response bytes.
+//!
 //! The service determinism contract extends to topology: a session's
 //! response bytes are a pure function of its request bytes for *any*
-//! shard count at any thread count (shards configured identically; see
-//! `crates/server/PROTOCOL.md` § Routing).
+//! shard count, *any* replication factor, at any thread count, even
+//! across replica failures (shards configured identically; see
+//! `crates/server/PROTOCOL.md` § Routing and § Replication).
 //!
 //! ```
 //! use mg_router::{LocalCluster, RouterConfig};
@@ -49,8 +57,8 @@ pub mod router;
 pub mod transport;
 
 pub use cache::RouterKey;
-pub use config::{ShardSpec, Topology, TopologyError};
-pub use harness::{LocalCluster, LocalShard};
-pub use placement::{place, rendezvous};
+pub use config::{ShardSpec, Topology, TopologyError, MAX_SHARD_CAPACITY};
+pub use harness::{LocalCluster, LocalShard, ShardProxy};
+pub use placement::{place, place_replicas, rank, rendezvous};
 pub use router::{Router, RouterConfig, RouterSummary};
 pub use transport::{serve_pipe, serve_stdio, RouterTcpServer};

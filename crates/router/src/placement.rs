@@ -34,39 +34,61 @@ use mg_core::service::{mix64, name_fingerprint};
 /// `u ∈ (0, 1)` derived from the mixed hash, so a weight-2 entry owns
 /// twice the keyspace of a weight-1 entry in expectation.
 pub fn rendezvous(key: u64, entries: &[(&str, f64)]) -> usize {
-    let mut best = 0usize;
-    let mut best_score = f64::NEG_INFINITY;
-    for (index, (id, weight)) in entries.iter().enumerate() {
-        let h = mix64(key ^ name_fingerprint(id));
-        // Map the high 53 bits into (0, 1); the +1/+2 offsets keep u
-        // strictly inside the open interval so ln(u) is finite and < 0.
-        let u = ((h >> 11) + 1) as f64 / ((1u64 << 53) + 2) as f64;
-        let score = if *weight > 0.0 {
-            -weight / u.ln()
-        } else {
-            f64::NEG_INFINITY
-        };
-        if score > best_score {
-            best_score = score;
-            best = index;
-        }
-    }
-    best
+    rank(key, entries, 1).first().copied().unwrap_or(0)
 }
 
-/// Places a request key onto one of `shards`: rendezvous with weight =
-/// capacity, or capacity² when the request is `heavy` (its estimated cost
-/// crossed the router's threshold).
-pub fn place(key: u64, shards: &[ShardSpec], heavy: bool) -> usize {
-    let entries: Vec<(&str, f64)> = shards
+/// Weighted rendezvous *ranking*: the indices of the top-`r` entries by
+/// score, best first — the replica set of a key. `rank(key, e, 1)[0]`
+/// is exactly [`rendezvous`]`(key, e)`, so `--replicas 1` preserves the
+/// historical single-owner placement bit-for-bit. Ties break toward the
+/// lower index; `r` is clamped to the entry count (and to ≥ 1).
+pub fn rank(key: u64, entries: &[(&str, f64)], r: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = entries
+        .iter()
+        .enumerate()
+        .map(|(index, (id, weight))| {
+            let h = mix64(key ^ name_fingerprint(id));
+            // Map the high 53 bits into (0, 1); the +1/+2 offsets keep u
+            // strictly inside the open interval so ln(u) is finite and < 0.
+            let u = ((h >> 11) + 1) as f64 / ((1u64 << 53) + 2) as f64;
+            let score = if *weight > 0.0 {
+                -weight / u.ln()
+            } else {
+                f64::NEG_INFINITY
+            };
+            (index, score)
+        })
+        .collect();
+    // Stable order under equal scores = lower index first.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(r.clamp(1, entries.len().max(1)));
+    scored.into_iter().map(|(index, _)| index).collect()
+}
+
+fn weights(shards: &[ShardSpec], heavy: bool) -> Vec<(&str, f64)> {
+    shards
         .iter()
         .map(|s| {
             let capacity = f64::from(s.capacity);
             let weight = if heavy { capacity * capacity } else { capacity };
             (s.id.as_str(), weight)
         })
-        .collect();
-    rendezvous(key, &entries)
+        .collect()
+}
+
+/// Places a request key onto one of `shards`: rendezvous with weight =
+/// capacity, or capacity² when the request is `heavy` (its estimated cost
+/// crossed the router's threshold).
+pub fn place(key: u64, shards: &[ShardSpec], heavy: bool) -> usize {
+    rendezvous(key, &weights(shards, heavy))
+}
+
+/// The replica set of a key: the top-`r` shards by the same weighted
+/// rendezvous scores [`place`] uses, best first. `place_replicas(k, s,
+/// h, 1)` is `[place(k, s, h)]`; growing `r` only ever *appends* ranks,
+/// so enabling replication never moves a key's primary.
+pub fn place_replicas(key: u64, shards: &[ShardSpec], heavy: bool, r: usize) -> Vec<usize> {
+    rank(key, &weights(shards, heavy), r)
 }
 
 #[cfg(test)]
@@ -124,6 +146,63 @@ mod tests {
             heavy[1] > counts[1],
             "heavy traffic should skew harder toward capacity: {heavy:?} vs {counts:?}"
         );
+    }
+
+    #[test]
+    fn rank_1_is_exactly_the_single_owner_placement() {
+        let t = shards(5);
+        for key in 0..500u64 {
+            let key = mix64(key);
+            for heavy in [false, true] {
+                assert_eq!(
+                    place_replicas(key, &t, heavy, 1),
+                    vec![place(key, &t, heavy)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_r_appends_ranks_without_moving_earlier_ones() {
+        let mut t = shards(5);
+        t[2].capacity = 3;
+        for key in 0..200u64 {
+            let key = mix64(key);
+            let full = place_replicas(key, &t, false, 5);
+            assert_eq!(full.len(), 5);
+            for r in 1..=5usize {
+                assert_eq!(place_replicas(key, &t, false, r), full[..r].to_vec());
+            }
+            // A ranking is a permutation prefix: no shard appears twice.
+            let mut seen = full.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 5, "ranking repeats a shard: {full:?}");
+        }
+    }
+
+    #[test]
+    fn r_clamps_to_the_shard_count() {
+        let t = shards(3);
+        assert_eq!(place_replicas(7, &t, false, 10).len(), 3);
+        assert_eq!(place_replicas(7, &t, false, 0).len(), 1);
+    }
+
+    #[test]
+    fn second_ranks_spread_like_first_ranks() {
+        // The rank-2 replica of a key is itself ~uniform over the other
+        // shards — the property that keeps failover load spread out.
+        let t = shards(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[place_replicas(mix64(key), &t, false, 2)[1]] += 1;
+        }
+        for (index, count) in counts.iter().enumerate() {
+            assert!(
+                *count > 500,
+                "shard {index} underrepresented at rank 2: {counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The routing engine: placement, per-shard connections with
-//! reconnect-and-replay, the router-level response cache, and per-session
-//! ordered response streams.
+//! reconnect-and-replay, replica-set failover, the router-level response
+//! cache, and per-session ordered response streams.
 //!
 //! ## Execution model
 //!
@@ -13,16 +13,25 @@
 //! FIFO order per connection and are re-sequenced into client submission
 //! order by the same sliding-slot scheme `mg-server` uses.
 //!
-//! ## Failure handling
+//! ## Replication and failure handling
+//!
+//! With `--replicas R` (R > 1), placement returns the top-R rendezvous
+//! ranks of a key instead of just the winner; a request goes to its
+//! top-ranked replica that is currently believed alive. Liveness is
+//! tracked per shard by a background prober (the protocol's `ping` op
+//! under a read deadline) and by connection outcomes.
 //!
 //! Every forwarded-but-unanswered request stays in the connection's
-//! pending queue. When a connection dies (EOF, read or write error), the
+//! pending queue. When a connection dies (EOF, read or write error, or —
+//! when configured — an expired per-connection read deadline), the
 //! reader thread redials and replays the queue in order; if the shard
-//! stays unreachable after the configured attempts, the pending requests
-//! fail with typed `shard_unavailable` errors and later requests for that
-//! shard attempt one fresh revival each. The pending queue is also the
-//! backpressure bound: submissions block while `window` requests are in
-//! flight to one shard.
+//! stays unreachable through the configured attempts, the shard is
+//! marked dead and each pending request **fails over**: it is replayed,
+//! still in order, against its next-ranked live replica. Only when a
+//! request exhausts its replica set does it fail with a typed
+//! `shard_unavailable` error. The pending queue is also the backpressure
+//! bound: submissions block while `window` requests are in flight to one
+//! shard.
 //!
 //! ## Determinism
 //!
@@ -30,11 +39,14 @@
 //! identically, and the router cache only ever serves a byte-rewrite
 //! (fresh id, `cached: true`) of a line some shard produced — so a
 //! session's response stream is the same for 1 shard and K shards at any
-//! thread count (see `PROTOCOL.md` § Routing for the exact contract).
+//! thread count, **and failover is invisible**: any replica computes
+//! byte-identical response bytes for a request, so a replayed request
+//! returns exactly the line the dead replica would have produced (see
+//! `PROTOCOL.md` § Routing for the exact contract).
 
 use crate::cache::{cached_true_of, with_id, RouterKey};
 use crate::config::Topology;
-use crate::placement::place;
+use crate::placement::place_replicas;
 use mg_core::service::{placement_key, ErrorCode, RequestOp};
 use mg_core::{parse_backend, DEFAULT_BACKEND};
 use mg_server::json::obj;
@@ -42,9 +54,21 @@ use mg_server::{protocol, Json, LruCache};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the data from a poisoned lock: a panicking
+/// worker must degrade to a typed `internal` error for its own request,
+/// never abort every other session sharing the router state.
+fn lock_ok<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_ok`].
+fn wait_ok<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of a [`Router`].
 #[derive(Debug, Clone)]
@@ -66,6 +90,19 @@ pub struct RouterConfig {
     pub connect_attempts: u32,
     /// Delay between dial attempts.
     pub retry_delay: Duration,
+    /// Replication factor R: each key's top-R rendezvous ranks form its
+    /// replica set. 1 (the default) preserves single-owner placement
+    /// bit-for-bit and disables the health prober.
+    pub replicas: usize,
+    /// Period of the background health prober (`ping` per shard). Only
+    /// runs when `replicas > 1`; `Duration::ZERO` disables it outright.
+    pub probe_interval: Duration,
+    /// Per-connection read deadline: a forwarded request unanswered this
+    /// long marks the replica dead and triggers failover (or typed
+    /// errors at `replicas == 1`). `None` (the default) waits forever,
+    /// preserving historical behaviour. Set it above the worst-case job
+    /// latency of the workload. Also bounds each probe's response wait.
+    pub read_deadline: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -77,7 +114,17 @@ impl Default for RouterConfig {
             heavy_cost: 10_000_000,
             connect_attempts: 5,
             retry_delay: Duration::from_millis(200),
+            replicas: 1,
+            probe_interval: Duration::from_millis(500),
+            read_deadline: None,
         }
+    }
+}
+
+impl RouterConfig {
+    /// How long a probe waits for its `ping` reply.
+    fn probe_deadline(&self) -> Duration {
+        self.read_deadline.unwrap_or(Duration::from_secs(2))
     }
 }
 
@@ -103,41 +150,105 @@ pub(crate) struct RouterCore {
     cache: Mutex<LruCache<RouterKey, String>>,
     /// Idle, reader-less connections per shard, reusable across sessions.
     pools: Vec<Mutex<Vec<TcpStream>>>,
+    /// Believed liveness per shard: written by the prober and by
+    /// connection outcomes, read by placement and failover.
+    health: Vec<AtomicBool>,
+    /// Total requests replayed onto a lower-ranked replica.
+    failovers: AtomicU64,
     shutdown: AtomicBool,
     /// Guards the one-shot forwarding of `shutdown` to every shard.
     teardown_done: Mutex<bool>,
 }
 
+/// The background health prober's lifecycle handle.
+struct Prober {
+    /// `true` under the mutex once the router wants the prober gone; the
+    /// condvar wakes it out of its between-rounds sleep immediately.
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prober {
+    fn stop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *lock_ok(flag) = true;
+        wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A running router: validated topology + shared cache + connection
-/// pools. Sessions attach via [`Router::run_session`] (pipe transports)
-/// or the TCP front end in [`crate::transport`].
+/// pools + (with `replicas > 1`) a background health prober. Sessions
+/// attach via [`Router::run_session`] (pipe transports) or the TCP front
+/// end in [`crate::transport`].
 pub struct Router {
     pub(crate) core: Arc<RouterCore>,
+    prober: Option<Prober>,
 }
 
 impl Router {
     /// Builds a router over a validated topology. Fails (with a message)
-    /// only when `config.default_backend` is not a registered backend.
+    /// when `config.default_backend` is not a registered backend or
+    /// `config.replicas` is 0.
     pub fn new(topology: Topology, mut config: RouterConfig) -> Result<Router, String> {
         config.default_backend = parse_backend(config.default_backend)?.name();
+        if config.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
         let pools = (0..topology.len())
             .map(|_| Mutex::new(Vec::new()))
             .collect();
-        Ok(Router {
-            core: Arc::new(RouterCore {
-                cache: Mutex::new(LruCache::new(config.cache_capacity)),
-                pools,
-                shutdown: AtomicBool::new(false),
-                teardown_done: Mutex::new(false),
-                topology,
-                config,
-            }),
-        })
+        let health = (0..topology.len()).map(|_| AtomicBool::new(true)).collect();
+        let spawn_prober = config.replicas > 1 && !config.probe_interval.is_zero();
+        let core = Arc::new(RouterCore {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            pools,
+            health,
+            failovers: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            teardown_done: Mutex::new(false),
+            topology,
+            config,
+        });
+        let prober = if spawn_prober {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let handle = std::thread::Builder::new()
+                .name("mg-router-prober".into())
+                .spawn({
+                    let core = core.clone();
+                    let stop = stop.clone();
+                    move || probe_loop(&core, &stop)
+                })
+                .map_err(|e| format!("spawning health prober: {e}"))?;
+            Some(Prober {
+                stop,
+                handle: Some(handle),
+            })
+        } else {
+            None
+        };
+        Ok(Router { core, prober })
     }
 
     /// The validated topology.
     pub fn topology(&self) -> &Topology {
         &self.core.topology
+    }
+
+    /// The believed liveness of the shard named `id` (`None` when the id
+    /// is not in the topology). Always `true` at `replicas == 1` startup;
+    /// flips with prober results and connection outcomes.
+    pub fn shard_alive(&self, id: &str) -> Option<bool> {
+        let index = self.core.topology.index_of(id)?;
+        Some(self.core.health[index].load(Ordering::SeqCst))
+    }
+
+    /// Total requests replayed onto a lower-ranked replica so far
+    /// (router-wide, monotone).
+    pub fn failovers(&self) -> u64 {
+        self.core.failovers.load(Ordering::SeqCst)
     }
 
     /// Dials every shard once (with the configured retries), parking the
@@ -148,10 +259,7 @@ impl Router {
             let stream = self.core.dial(index).map_err(|e| {
                 format!("connecting to shard {:?} at {}: {e}", shard.id, shard.addr)
             })?;
-            self.core.pools[index]
-                .lock()
-                .expect("pool mutex poisoned")
-                .push(stream);
+            lock_ok(&self.core.pools[index]).push(stream);
         }
         Ok(())
     }
@@ -179,7 +287,7 @@ impl Router {
     ) -> RouterSummary {
         let mut driver = RouterSessionDriver::new(self.core.clone());
         let shared = driver.shared();
-        crossbeam::scope(|scope| {
+        let _ = crossbeam::scope(|scope| {
             let out = &mut output;
             let writer = scope.spawn(move |_| write_router_responses(&shared, out));
             for line in input.lines() {
@@ -189,9 +297,10 @@ impl Router {
                 }
             }
             driver.finish();
-            driver.summary.responses = writer.join().expect("router writer panicked");
-        })
-        .expect("router session scope");
+            // A panicked writer is an internal failure of this session
+            // only; the summary just reports zero written responses.
+            driver.summary.responses = writer.join().unwrap_or(0);
+        });
         driver.summary
     }
 
@@ -199,6 +308,14 @@ impl Router {
     /// most callers want [`Router::run_session`].
     pub(crate) fn open_session(&self) -> RouterSessionDriver {
         RouterSessionDriver::new(self.core.clone())
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if let Some(prober) = &mut self.prober {
+            prober.stop();
+        }
     }
 }
 
@@ -224,41 +341,52 @@ impl RouterCore {
     /// A connection for `shard`: pooled if available, freshly dialed
     /// otherwise.
     fn take_connection(&self, shard: usize) -> std::io::Result<TcpStream> {
-        if let Some(stream) = self.pools[shard].lock().expect("pool mutex poisoned").pop() {
+        if let Some(stream) = lock_ok(&self.pools[shard]).pop() {
             return Ok(stream);
         }
         self.dial(shard)
     }
 
     fn return_connection(&self, shard: usize, stream: TcpStream) {
-        self.pools[shard]
-            .lock()
-            .expect("pool mutex poisoned")
-            .push(stream);
+        lock_ok(&self.pools[shard]).push(stream);
+    }
+
+    fn alive(&self, shard: usize) -> bool {
+        self.health[shard].load(Ordering::SeqCst)
+    }
+
+    fn mark_alive(&self, shard: usize, alive: bool) {
+        self.health[shard].store(alive, Ordering::SeqCst);
+    }
+
+    /// Ids of the shards currently believed dead, in topology order.
+    fn dead_ids(&self) -> Vec<String> {
+        self.topology
+            .shards()
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| !self.alive(*index))
+            .map(|(_, spec)| spec.id.clone())
+            .collect()
     }
 
     fn cache_get(&self, key: &RouterKey) -> Option<String> {
-        self.cache
-            .lock()
-            .expect("cache mutex poisoned")
-            .get(key)
-            .cloned()
+        lock_ok(&self.cache).get(key).cloned()
     }
 
     fn cache_put(&self, key: RouterKey, line: String) {
-        self.cache
-            .lock()
-            .expect("cache mutex poisoned")
-            .insert(key, line);
+        lock_ok(&self.cache).insert(key, line);
     }
 
     /// Forwards `shutdown` to every shard exactly once (whichever session
     /// gets there first wins), draining each: the shard answers all
     /// earlier requests on the connection, acks the shutdown, and exits.
     /// `session_conns` donates the calling session's live (drained)
-    /// connections so shards are not redialed needlessly.
+    /// connections so shards are not redialed needlessly. Shards believed
+    /// dead are skipped rather than redialed — a torn-down topology must
+    /// not stall on its casualties.
     fn teardown_shards(&self, mut session_conns: Vec<Option<TcpStream>>) {
-        let mut done = self.teardown_done.lock().expect("teardown mutex poisoned");
+        let mut done = lock_ok(&self.teardown_done);
         if *done {
             return;
         }
@@ -267,8 +395,14 @@ impl RouterCore {
         for (index, slot) in session_conns.iter_mut().enumerate() {
             let stream = slot
                 .take()
-                .or_else(|| self.pools[index].lock().expect("pool mutex poisoned").pop())
-                .or_else(|| self.dial(index).ok());
+                .or_else(|| lock_ok(&self.pools[index]).pop())
+                .or_else(|| {
+                    if self.alive(index) {
+                        self.dial(index).ok()
+                    } else {
+                        None
+                    }
+                });
             let Some(mut stream) = stream else { continue };
             if stream.write_all(b"{\"op\":\"shutdown\"}\n").is_err() || stream.flush().is_err() {
                 continue;
@@ -282,6 +416,57 @@ impl RouterCore {
     }
 }
 
+/// The background health prober: one `ping` per shard per round over the
+/// prober's own connections (never the session pools), each answered
+/// within [`RouterConfig::probe_deadline`] or the shard is marked dead.
+/// A later successful probe re-admits a flapped replica.
+fn probe_loop(core: &Arc<RouterCore>, stop: &Arc<(Mutex<bool>, Condvar)>) {
+    let mut conns: Vec<Option<BufReader<TcpStream>>> = Vec::new();
+    conns.resize_with(core.topology.len(), || None);
+    loop {
+        for (shard, slot) in conns.iter_mut().enumerate() {
+            if *lock_ok(&stop.0) {
+                return;
+            }
+            let alive = probe_once(core, shard, slot);
+            core.mark_alive(shard, alive);
+        }
+        let (flag, wake) = &**stop;
+        let guard = lock_ok(flag);
+        let (guard, _) = wake
+            .wait_timeout(guard, core.config.probe_interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        if *guard {
+            return;
+        }
+    }
+}
+
+/// One probe: dial (if needed), send `ping`, await any response line
+/// under the probe deadline. Any failure drops the probe connection so
+/// the next round starts from a clean dial.
+fn probe_once(core: &RouterCore, shard: usize, slot: &mut Option<BufReader<TcpStream>>) -> bool {
+    if slot.is_none() {
+        let Ok(stream) = TcpStream::connect(&core.topology.shards()[shard].addr) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        *slot = Some(BufReader::new(stream));
+    }
+    let reader = slot.as_mut().expect("just installed");
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(core.config.probe_deadline()));
+    let mut w = reader.get_ref();
+    let written = w.write_all(b"{\"op\":\"ping\"}\n").is_ok() && w.flush().is_ok();
+    let mut line = String::new();
+    let alive = written && matches!(reader.read_line(&mut line), Ok(n) if n > 0);
+    if !alive {
+        *slot = None;
+    }
+    alive
+}
+
 /// One forwarded-but-unanswered request.
 struct PendingEntry {
     /// Session submission index (the response slot to fill).
@@ -293,6 +478,13 @@ struct PendingEntry {
     /// The request id, kept so a failure response can echo it without
     /// re-parsing the raw line.
     id: Json,
+    /// Lower-ranked replicas still untried, best first — where this
+    /// request fails over if the current shard dies. Empty at
+    /// `replicas == 1`.
+    fallbacks: Vec<usize>,
+    /// When the entry was (re)written to the current connection; the
+    /// read-deadline clock.
+    enqueued: Instant,
 }
 
 /// State shared between a session and one shard-connection reader thread.
@@ -306,7 +498,7 @@ struct ConnShared {
     /// Session is over; exit once `pending` is empty.
     stop: AtomicBool,
     /// The connection failed for good (reconnects exhausted); pending
-    /// requests were failed with `shard_unavailable`.
+    /// requests were failed over or failed with `shard_unavailable`.
     dead: AtomicBool,
 }
 
@@ -324,17 +516,12 @@ impl ShardConn {
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
-        let clean = !self.shared.dead.load(Ordering::SeqCst)
-            && self
-                .shared
-                .pending
-                .lock()
-                .expect("pending mutex poisoned")
-                .is_empty();
+        let clean =
+            !self.shared.dead.load(Ordering::SeqCst) && lock_ok(&self.shared.pending).is_empty();
         if !clean {
             return None;
         }
-        let stream = self.shared.stream.lock().expect("stream mutex poisoned");
+        let stream = lock_ok(&self.shared.stream);
         stream.try_clone().ok()
     }
 }
@@ -354,6 +541,11 @@ enum RSlot {
     Stats {
         id: Json,
         received: u64,
+        /// Present when the router runs replicated (`replicas > 1`):
+        /// lets the writer sample replica health at delivery time, after
+        /// every earlier response (and thus every failover that produced
+        /// one) has resolved.
+        core: Option<Arc<RouterCore>>,
     },
 }
 
@@ -377,8 +569,8 @@ pub(crate) struct RouterShared {
 }
 
 impl RouterShared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, RouterSlots> {
-        self.state.lock().expect("router session mutex poisoned")
+    fn lock(&self) -> MutexGuard<'_, RouterSlots> {
+        lock_ok(&self.state)
     }
 
     fn push_pending(&self) {
@@ -407,6 +599,25 @@ impl RouterShared {
         self.lock().input_done = true;
         self.ready.notify_all();
     }
+
+    /// Blocks until every slot except (optionally) `skip` is resolved —
+    /// the session-level drain. Covers requests in failover limbo (popped
+    /// from one pending queue, not yet re-enqueued on the next replica),
+    /// which per-connection queues alone would miss.
+    fn drain_resolved(&self, skip: Option<u64>) {
+        let mut state = self.lock();
+        loop {
+            let base = state.base;
+            let unresolved =
+                state.slots.iter().enumerate().any(|(offset, slot)| {
+                    !slot.is_resolved() && Some(base + offset as u64) != skip
+                });
+            if !unresolved {
+                return;
+            }
+            state = wait_ok(&self.ready, state);
+        }
+    }
 }
 
 /// Writer half of a router session: emits responses in submission order,
@@ -427,10 +638,7 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                 if state.input_done && state.slots.front().is_none() {
                     return written;
                 }
-                state = shared
-                    .ready
-                    .wait(state)
-                    .expect("router session mutex poisoned");
+                state = wait_ok(&shared.ready, state);
             }
             state.base += 1;
             state.slots.pop_front().expect("checked front")
@@ -450,15 +658,31 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                 }
                 line
             }
-            RSlot::Stats { id, received } => obj(vec![
-                ("id", id),
-                ("status", Json::Str("ok".into())),
-                ("op", Json::Str("stats".into())),
-                ("received", Json::UInt(received)),
-                ("cache_hits", Json::UInt(cache_hits)),
-                ("errors", Json::UInt(errors)),
-            ])
-            .to_string(),
+            RSlot::Stats { id, received, core } => {
+                let mut fields = vec![
+                    ("id", id),
+                    ("status", Json::Str("ok".into())),
+                    ("op", Json::Str("stats".into())),
+                    ("received", Json::UInt(received)),
+                    ("cache_hits", Json::UInt(cache_hits)),
+                    ("errors", Json::UInt(errors)),
+                ];
+                // Replica diagnostics, only when something is actually
+                // dead: a healthy replicated topology reports byte-
+                // identically to an unreplicated one.
+                if let Some(core) = core {
+                    let dead = core.dead_ids();
+                    if !dead.is_empty() {
+                        fields.push(("replicas", Json::UInt(core.config.replicas as u64)));
+                        fields.push(("dead", Json::Arr(dead.into_iter().map(Json::Str).collect())));
+                        fields.push((
+                            "failovers",
+                            Json::UInt(core.failovers.load(Ordering::SeqCst)),
+                        ));
+                    }
+                }
+                obj(fields).to_string()
+            }
         };
         if output.write_all(line.as_bytes()).is_ok()
             && output.write_all(b"\n").is_ok()
@@ -469,22 +693,239 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
     }
 }
 
-/// Reader half of one shard connection: pairs response lines with the
-/// FIFO pending queue, fills session slots, feeds the router cache, and
-/// owns reconnect-and-replay.
-fn reader_loop(
+/// The connection table of one session, shared with its reader threads
+/// so a dying connection can fail its pending requests over to other
+/// replicas (which may need fresh connections) from the reader itself.
+struct SessionState {
     core: Arc<RouterCore>,
-    shard: usize,
-    conn: Arc<ConnShared>,
     slots: Arc<RouterShared>,
-) {
+    conns: Mutex<Vec<Option<ShardConn>>>,
+}
+
+impl SessionState {
+    /// The session's connection to `shard`, creating or reviving it as
+    /// needed (pool first, fresh dial second). Callable from the session
+    /// thread and from failing-over reader threads alike.
+    fn connection(self: &Arc<Self>, shard: usize) -> std::io::Result<Arc<ConnShared>> {
+        loop {
+            let stale = {
+                let mut conns = lock_ok(&self.conns);
+                match &conns[shard] {
+                    Some(conn) if !conn.shared.dead.load(Ordering::SeqCst) => {
+                        return Ok(conn.shared.clone());
+                    }
+                    // Revive: retire the dead reader outside the table
+                    // lock (retire joins the reader, which may itself be
+                    // waiting on the table while failing over).
+                    Some(_) => conns[shard].take(),
+                    None => None,
+                }
+            };
+            if let Some(stale) = stale {
+                stale.retire();
+                continue;
+            }
+            let stream = self.core.take_connection(shard)?;
+            let shared = Arc::new(ConnShared {
+                stream: Mutex::new(stream),
+                pending: Mutex::new(VecDeque::new()),
+                space: Condvar::new(),
+                stop: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+            });
+            let reader = std::thread::Builder::new()
+                .name(format!("mg-router-shard-{shard}"))
+                .spawn({
+                    let session = self.clone();
+                    let conn = shared.clone();
+                    move || reader_thread(&session, shard, &conn)
+                })?;
+            let ours = ShardConn {
+                shared: shared.clone(),
+                reader: Some(reader),
+            };
+            let stale = {
+                let mut conns = lock_ok(&self.conns);
+                match &conns[shard] {
+                    // Lost an install race against another thread whose
+                    // connection is live: keep theirs, retire ours.
+                    Some(existing) if !existing.shared.dead.load(Ordering::SeqCst) => {
+                        let winner = existing.shared.clone();
+                        drop(conns);
+                        if let Some(stream) = ours.retire() {
+                            self.core.return_connection(shard, stream);
+                        }
+                        return Ok(winner);
+                    }
+                    _ => {
+                        let stale = conns[shard].take();
+                        conns[shard] = Some(ours);
+                        stale
+                    }
+                }
+            };
+            if let Some(stale) = stale {
+                stale.retire();
+            }
+            return Ok(shared);
+        }
+    }
+
+    /// Fails a lost connection: marks the shard dead (for placement and
+    /// the prober to re-admit later), drains the pending queue, and
+    /// replays each entry against its next-ranked live replica — typed
+    /// `shard_unavailable` errors only for entries whose replica set is
+    /// exhausted.
+    fn fail_over(self: &Arc<Self>, shard: usize, conn: &ConnShared) {
+        self.core.mark_alive(shard, false);
+        let drained: Vec<PendingEntry> = {
+            // `dead` is set under the pending lock so a racing `forward`
+            // either sees the flag before enqueueing or its entry is
+            // drained here — never an orphaned request.
+            let mut pending = lock_ok(&conn.pending);
+            conn.dead.store(true, Ordering::SeqCst);
+            pending.drain(..).collect()
+        };
+        conn.space.notify_all();
+        for entry in drained {
+            self.dispatch_failover(entry, shard);
+        }
+    }
+
+    /// Replays one orphaned entry on the best remaining replica, walking
+    /// down the ranking as candidates fail.
+    fn dispatch_failover(self: &Arc<Self>, mut entry: PendingEntry, mut last_shard: usize) {
+        loop {
+            let Some(next) = next_candidate(&self.core, &mut entry.fallbacks) else {
+                self.fail_entry(entry, last_shard);
+                return;
+            };
+            last_shard = next;
+            match self.replay_entry(next, entry) {
+                Ok(()) => {
+                    self.core.failovers.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Err(returned) => {
+                    self.core.mark_alive(next, false);
+                    entry = *returned;
+                }
+            }
+        }
+    }
+
+    /// Enqueues and writes an already-admitted entry on `shard`'s
+    /// connection. No window wait: the entry consumed its backpressure
+    /// budget when the session first admitted it, and failover must not
+    /// park one reader thread on another connection's window.
+    fn replay_entry(
+        self: &Arc<Self>,
+        shard: usize,
+        mut entry: PendingEntry,
+    ) -> Result<(), Box<PendingEntry>> {
+        let Ok(conn) = self.connection(shard) else {
+            return Err(Box::new(entry));
+        };
+        let raw = entry.raw.clone();
+        let stream = lock_ok(&conn.stream);
+        {
+            let mut pending = lock_ok(&conn.pending);
+            if conn.dead.load(Ordering::SeqCst) {
+                return Err(Box::new(entry));
+            }
+            entry.enqueued = Instant::now();
+            pending.push_back(entry);
+        }
+        let mut w = &*stream;
+        let write_ok =
+            w.write_all(raw.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok();
+        drop(stream);
+        if !write_ok {
+            // The entry is pending on the new connection; poke its reader
+            // so reconnect-and-replay (or a further failover) picks it up.
+            let stream = lock_ok(&conn.stream);
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        Ok(())
+    }
+
+    /// Resolves an entry whose replica set is exhausted with the typed
+    /// `shard_unavailable` error naming the last shard that owned it.
+    fn fail_entry(&self, entry: PendingEntry, shard: usize) {
+        let spec = &self.core.topology.shards()[shard];
+        let line = protocol::error_response(
+            &entry.id,
+            ErrorCode::ShardUnavailable,
+            &format!(
+                "shard {:?} at {} became unreachable; request lost after replay attempts",
+                spec.id, spec.addr
+            ),
+            Some(&spec.id),
+        );
+        self.slots.set_line(entry.index, line, false, true);
+    }
+
+    /// Resolves every pending entry of a conn with a typed `internal`
+    /// error — the degraded (but draining) outcome of a panicked reader.
+    fn fail_internal(&self, shard: usize, conn: &ConnShared) {
+        let spec = &self.core.topology.shards()[shard];
+        let drained: Vec<PendingEntry> = {
+            let mut pending = lock_ok(&conn.pending);
+            conn.dead.store(true, Ordering::SeqCst);
+            pending.drain(..).collect()
+        };
+        conn.space.notify_all();
+        for entry in drained {
+            let line = protocol::error_response(
+                &entry.id,
+                ErrorCode::Internal,
+                &format!("router worker for shard {:?} failed; request lost", spec.id),
+                Some(&spec.id),
+            );
+            self.slots.set_line(entry.index, line, false, true);
+        }
+    }
+}
+
+/// Removes and returns the best remaining candidate: the first replica
+/// currently believed alive, or — when everything looks dead — the first
+/// remaining one (the dial will be the judge). `None` when exhausted.
+fn next_candidate(core: &RouterCore, fallbacks: &mut Vec<usize>) -> Option<usize> {
+    if fallbacks.is_empty() {
+        return None;
+    }
+    let position = fallbacks
+        .iter()
+        .position(|&shard| core.alive(shard))
+        .unwrap_or(0);
+    Some(fallbacks.remove(position))
+}
+
+/// Reader half of one shard connection, with a panic firewall: a
+/// panicking reader resolves its pending requests with typed `internal`
+/// errors instead of hanging the session (the writer would otherwise
+/// wait forever on the orphaned slots).
+fn reader_thread(session: &Arc<SessionState>, shard: usize, conn: &Arc<ConnShared>) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        reader_loop(session, shard, conn);
+    }));
+    if outcome.is_err() {
+        session.fail_internal(shard, conn);
+    }
+}
+
+/// Reader loop body: pairs response lines with the FIFO pending queue,
+/// fills session slots, feeds the router cache, and owns
+/// reconnect-and-replay plus the failover hand-off.
+fn reader_loop(session: &Arc<SessionState>, shard: usize, conn: &Arc<ConnShared>) {
+    let core = &session.core;
     'connection: loop {
         let handle = {
-            let stream = conn.stream.lock().expect("stream mutex poisoned");
+            let stream = lock_ok(&conn.stream);
             match stream.try_clone() {
                 Ok(h) => h,
                 Err(_) => {
-                    fail_connection(&core, shard, &conn, &slots);
+                    session.fail_over(shard, conn);
                     return;
                 }
             }
@@ -493,13 +934,22 @@ fn reader_loop(
         let mut reader = BufReader::new(handle);
         let mut buf: Vec<u8> = Vec::new();
         loop {
-            let idle = conn
-                .pending
-                .lock()
-                .expect("pending mutex poisoned")
-                .is_empty();
+            let idle = lock_ok(&conn.pending).is_empty();
             if conn.stop.load(Ordering::SeqCst) && idle {
                 return;
+            }
+            // Read-deadline: a connection that owes its oldest response
+            // for longer than the deadline is hung — mark the replica
+            // dead and fail over (a hung shard accepts connections, so
+            // reconnect-and-replay would just hang again).
+            if let Some(deadline) = core.config.read_deadline {
+                let expired = lock_ok(&conn.pending)
+                    .front()
+                    .is_some_and(|entry| entry.enqueued.elapsed() > deadline);
+                if expired {
+                    session.fail_over(shard, conn);
+                    return;
+                }
             }
             match reader.read_until(b'\n', &mut buf) {
                 Ok(0) => {
@@ -510,7 +960,7 @@ fn reader_loop(
                     // `forward` either sees the flag before enqueueing or
                     // its entry is seen here — never an orphaned request.
                     let retired = {
-                        let pending = conn.pending.lock().expect("pending mutex poisoned");
+                        let pending = lock_ok(&conn.pending);
                         if pending.is_empty() {
                             conn.dead.store(true, Ordering::SeqCst);
                             true
@@ -521,8 +971,8 @@ fn reader_loop(
                     if retired {
                         return;
                     }
-                    if !reconnect_and_replay(&core, shard, &conn) {
-                        fail_connection(&core, shard, &conn, &slots);
+                    if !reconnect_and_replay(core, shard, conn) {
+                        session.fail_over(shard, conn);
                         return;
                     }
                     buf.clear();
@@ -537,13 +987,13 @@ fn reader_loop(
                         .trim_end_matches(['\r', '\n'])
                         .to_string();
                     buf.clear();
-                    deliver_response(&core, &conn, &slots, &line);
+                    deliver_response(core, conn, &session.slots, &line);
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
-                    if !reconnect_and_replay(&core, shard, &conn) {
-                        fail_connection(&core, shard, &conn, &slots);
+                    if !reconnect_and_replay(core, shard, conn) {
+                        session.fail_over(shard, conn);
                         return;
                     }
                     buf.clear();
@@ -559,7 +1009,7 @@ fn reader_loop(
 /// `cached: true` variant) and resolves the session slot.
 fn deliver_response(core: &RouterCore, conn: &ConnShared, slots: &RouterShared, line: &str) {
     let entry = {
-        let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+        let mut pending = lock_ok(&conn.pending);
         let entry = pending.pop_front();
         conn.space.notify_all();
         entry
@@ -600,9 +1050,10 @@ fn reconnect_and_replay(core: &RouterCore, shard: usize, conn: &ConnShared) -> b
     let Ok(fresh) = core.dial(shard) else {
         return false;
     };
-    let mut stream = conn.stream.lock().expect("stream mutex poisoned");
-    let pending = conn.pending.lock().expect("pending mutex poisoned");
-    for entry in pending.iter() {
+    let mut stream = lock_ok(&conn.stream);
+    let mut pending = lock_ok(&conn.pending);
+    let now = Instant::now();
+    for entry in pending.iter_mut() {
         if fresh.peer_addr().is_err() {
             return false;
         }
@@ -613,39 +1064,18 @@ fn reconnect_and_replay(core: &RouterCore, shard: usize, conn: &ConnShared) -> b
         {
             return false;
         }
+        // The deadline clock restarts with the rewrite.
+        entry.enqueued = now;
     }
     *stream = fresh;
     true
-}
-
-/// Fails every pending request of a lost connection with a typed
-/// `shard_unavailable` error and marks the connection dead.
-fn fail_connection(core: &RouterCore, shard: usize, conn: &ConnShared, slots: &RouterShared) {
-    conn.dead.store(true, Ordering::SeqCst);
-    let spec = &core.topology.shards()[shard];
-    let mut pending = conn.pending.lock().expect("pending mutex poisoned");
-    while let Some(entry) = pending.pop_front() {
-        let line = protocol::error_response(
-            &entry.id,
-            ErrorCode::ShardUnavailable,
-            &format!(
-                "shard {:?} at {} became unreachable; request lost after replay attempts",
-                spec.id, spec.addr
-            ),
-            Some(&spec.id),
-        );
-        slots.set_line(entry.index, line, false, true);
-    }
-    conn.space.notify_all();
 }
 
 /// Reader half of a router session, usable from any transport: feed it
 /// request lines, run [`write_router_responses`] from a writer thread,
 /// and call [`RouterSessionDriver::finish`] when the input ends.
 pub(crate) struct RouterSessionDriver {
-    core: Arc<RouterCore>,
-    shared: Arc<RouterShared>,
-    conns: Vec<Option<ShardConn>>,
+    session: Arc<SessionState>,
     pub(crate) summary: RouterSummary,
     next_index: u64,
 }
@@ -654,16 +1084,22 @@ impl RouterSessionDriver {
     fn new(core: Arc<RouterCore>) -> Self {
         let shards = core.topology.len();
         RouterSessionDriver {
-            core,
-            shared: Arc::new(RouterShared::default()),
-            conns: (0..shards).map(|_| None).collect(),
+            session: Arc::new(SessionState {
+                core,
+                slots: Arc::new(RouterShared::default()),
+                conns: Mutex::new((0..shards).map(|_| None).collect()),
+            }),
             summary: RouterSummary::default(),
             next_index: 0,
         }
     }
 
+    fn core(&self) -> &Arc<RouterCore> {
+        &self.session.core
+    }
+
     pub(crate) fn shared(&self) -> Arc<RouterShared> {
-        self.shared.clone()
+        self.session.slots.clone()
     }
 
     /// Decodes and routes one request line. Returns `false` when the
@@ -676,7 +1112,7 @@ impl RouterSessionDriver {
         let index = self.next_index;
         self.next_index += 1;
         self.summary.received += 1;
-        self.shared.push_pending();
+        self.session.slots.push_pending();
 
         let request = match protocol::parse_request_line(line) {
             Ok(request) => request,
@@ -687,7 +1123,7 @@ impl RouterSessionDriver {
         };
         match request.op {
             RequestOp::Ping => {
-                self.shared.set_line(
+                self.session.slots.set_line(
                     index,
                     protocol::op_response(&request.id, "ping"),
                     false,
@@ -720,7 +1156,7 @@ impl RouterSessionDriver {
         shard: Option<&str>,
     ) {
         self.summary.errors += 1;
-        self.shared.set_line(
+        self.session.slots.set_line(
             index,
             protocol::error_response(id, code, message, shard),
             false,
@@ -737,14 +1173,17 @@ impl RouterSessionDriver {
         match shard {
             None => {
                 let received = self.summary.received;
-                self.shared.set(index, RSlot::Stats { id, received });
+                let core = (self.core().config.replicas > 1).then(|| self.core().clone());
+                self.session
+                    .slots
+                    .set(index, RSlot::Stats { id, received, core });
             }
-            Some(name) => match self.core.topology.index_of(&name) {
-                Some(shard) => self.forward(index, shard, raw, None, &id),
+            Some(name) => match self.core().topology.index_of(&name) {
+                Some(shard) => self.forward(index, vec![shard], raw, None, &id),
                 None => {
                     let message = format!(
                         "no shard named {name:?} in the topology ({})",
-                        self.core
+                        self.core()
                             .topology
                             .shards()
                             .iter()
@@ -765,7 +1204,7 @@ impl RouterSessionDriver {
         id: Json,
         spec: mg_core::service::PartitionSpec,
     ) {
-        if self.core.shutdown.load(Ordering::SeqCst) {
+        if self.core().shutdown.load(Ordering::SeqCst) {
             self.local_error(
                 index,
                 &id,
@@ -790,51 +1229,105 @@ impl RouterSessionDriver {
             spec.seed,
             spec.include_partition,
         );
-        if let Some(stored) = self.core.cache_get(&key) {
+        if let Some(stored) = self.core().cache_get(&key) {
             if let Some(line) = with_id(&stored, &id) {
                 self.summary.cache_hits += 1;
-                self.shared.set_line(index, line, true, false);
+                self.session.slots.set_line(index, line, true, false);
                 return;
             }
         }
         // Pre-validated: the request field by the protocol decoder, the
         // default by Router::new.
-        let backend = parse_backend(spec.backend.unwrap_or(self.core.config.default_backend))
+        let backend = parse_backend(spec.backend.unwrap_or(self.core().config.default_backend))
             .expect("backend names are validated at decode/config time");
         let heavy = placement
             .matrix
             .as_ref()
-            .is_some_and(|m| backend.estimated_cost(m) >= self.core.config.heavy_cost);
-        let shard = place(placement.key, self.core.topology.shards(), heavy);
-        self.forward(index, shard, raw, Some(key), &id);
+            .is_some_and(|m| backend.estimated_cost(m) >= self.core().config.heavy_cost);
+        let replicas = self.core().config.replicas;
+        let ranked = place_replicas(
+            placement.key,
+            self.core().topology.shards(),
+            heavy,
+            replicas,
+        );
+        self.forward(index, ranked, raw, Some(key), &id);
     }
 
-    /// Forwards the raw request line to `shard`, blocking while the
-    /// in-flight window is full.
-    fn forward(&mut self, index: u64, shard: usize, raw: &str, key: Option<RouterKey>, id: &Json) {
-        let conn = match self.connection(shard) {
+    /// Forwards the raw request line to the best live candidate shard,
+    /// blocking while the in-flight window is full. Walks down the
+    /// ranking as candidates fail to connect; a typed `shard_unavailable`
+    /// error only once the whole replica set is exhausted.
+    fn forward(
+        &mut self,
+        index: u64,
+        candidates: Vec<usize>,
+        raw: &str,
+        key: Option<RouterKey>,
+        id: &Json,
+    ) {
+        let primary = candidates[0];
+        let mut remaining = candidates;
+        loop {
+            let Some(shard) = next_candidate(self.core(), &mut remaining) else {
+                unreachable!("forward always receives at least one candidate");
+            };
+            match self.try_forward(index, shard, &remaining, raw, key, id) {
+                ForwardOutcome::Sent => {
+                    if shard != primary {
+                        // Dispatched away from its top rank — whether the
+                        // primary is believed dead or just failed to
+                        // connect, this request failed over.
+                        self.core().failovers.fetch_add(1, Ordering::SeqCst);
+                    }
+                    self.summary.forwarded += 1;
+                    return;
+                }
+                ForwardOutcome::ShardLost(message) => {
+                    self.core().mark_alive(shard, false);
+                    if remaining.is_empty() {
+                        let shard_id = self.core().topology.shards()[shard].id.clone();
+                        self.local_error(
+                            index,
+                            id,
+                            ErrorCode::ShardUnavailable,
+                            &message,
+                            Some(&shard_id),
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One forwarding attempt against one shard.
+    fn try_forward(
+        &mut self,
+        index: u64,
+        shard: usize,
+        fallbacks: &[usize],
+        raw: &str,
+        key: Option<RouterKey>,
+        id: &Json,
+    ) -> ForwardOutcome {
+        let conn = match self.session.connection(shard) {
             Ok(conn) => conn,
             Err(e) => {
-                let spec = &self.core.topology.shards()[shard];
-                let message = format!("shard {:?} at {} is unreachable: {e}", spec.id, spec.addr);
-                let shard_id = spec.id.clone();
-                self.local_error(
-                    index,
-                    id,
-                    ErrorCode::ShardUnavailable,
-                    &message,
-                    Some(&shard_id),
-                );
-                return;
+                let spec = &self.core().topology.shards()[shard];
+                return ForwardOutcome::ShardLost(format!(
+                    "shard {:?} at {} is unreachable: {e}",
+                    spec.id, spec.addr
+                ));
             }
         };
         // Window backpressure: wait for room (the reader signals `space`
         // as responses land or the connection fails).
-        let window = self.core.config.window.max(1);
+        let window = self.core().config.window.max(1);
         {
-            let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+            let mut pending = lock_ok(&conn.pending);
             while pending.len() >= window && !conn.dead.load(Ordering::SeqCst) {
-                pending = conn.space.wait(pending).expect("pending mutex poisoned");
+                pending = wait_ok(&conn.space, pending);
             }
         }
         // Enqueue *then* write, both under the stream lock, so the wire
@@ -842,133 +1335,175 @@ impl RouterSessionDriver {
         // The dead-check happens under the pending lock, mirroring the
         // reader's idle-EOF retirement, so no entry lands on a retired
         // connection unseen.
-        let stream = conn.stream.lock().expect("stream mutex poisoned");
+        let stream = lock_ok(&conn.stream);
         {
-            let mut pending = conn.pending.lock().expect("pending mutex poisoned");
+            let mut pending = lock_ok(&conn.pending);
             if conn.dead.load(Ordering::SeqCst) {
                 drop(pending);
                 drop(stream);
-                let spec = &self.core.topology.shards()[shard];
-                let message = format!(
+                let spec = &self.core().topology.shards()[shard];
+                return ForwardOutcome::ShardLost(format!(
                     "shard {:?} at {} became unreachable; request not forwarded",
                     spec.id, spec.addr
-                );
-                let shard_id = spec.id.clone();
-                self.local_error(
-                    index,
-                    id,
-                    ErrorCode::ShardUnavailable,
-                    &message,
-                    Some(&shard_id),
-                );
-                return;
+                ));
             }
             pending.push_back(PendingEntry {
                 index,
                 raw: raw.to_string(),
                 key,
                 id: id.clone(),
+                fallbacks: fallbacks.to_vec(),
+                enqueued: Instant::now(),
             });
         }
         let mut w = &*stream;
         let write_ok =
             w.write_all(raw.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok();
         drop(stream);
-        self.summary.forwarded += 1;
         if !write_ok {
             // Poke the reader: shut the read half down so it stops
             // waiting on a dead socket and runs reconnect-and-replay
-            // (the entry is already pending, so the replay resends it).
-            let stream = conn.stream.lock().expect("stream mutex poisoned");
+            // (the entry is already pending, so the replay resends it —
+            // or fails it over to the next replica).
+            let stream = lock_ok(&conn.stream);
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
+        ForwardOutcome::Sent
     }
 
-    /// The session's connection to `shard`, creating or reviving it as
-    /// needed (pool first, fresh dial second).
-    fn connection(&mut self, shard: usize) -> std::io::Result<Arc<ConnShared>> {
-        if let Some(conn) = &self.conns[shard] {
-            if !conn.shared.dead.load(Ordering::SeqCst) {
-                return Ok(conn.shared.clone());
-            }
-            // Revive: retire the dead reader before replacing it.
-            if let Some(conn) = self.conns[shard].take() {
-                conn.retire();
-            }
-        }
-        let stream = self.core.take_connection(shard)?;
-        let shared = Arc::new(ConnShared {
-            stream: Mutex::new(stream),
-            pending: Mutex::new(VecDeque::new()),
-            space: Condvar::new(),
-            stop: AtomicBool::new(false),
-            dead: AtomicBool::new(false),
-        });
-        let reader = std::thread::Builder::new()
-            .name(format!("mg-router-shard-{shard}"))
-            .spawn({
-                let core = self.core.clone();
-                let conn = shared.clone();
-                let slots = self.shared.clone();
-                move || reader_loop(core, shard, conn, slots)
-            })?;
-        self.conns[shard] = Some(ShardConn {
-            shared: shared.clone(),
-            reader: Some(reader),
-        });
-        Ok(shared)
-    }
-
-    /// Blocks until every forwarded request of this session has been
-    /// answered (or failed).
-    fn drain_pending(&self) {
-        for conn in self.conns.iter().flatten() {
-            let mut pending = conn.shared.pending.lock().expect("pending mutex poisoned");
-            while !pending.is_empty() {
-                pending = conn
-                    .shared
-                    .space
-                    .wait(pending)
-                    .expect("pending mutex poisoned");
-            }
-        }
+    /// Blocks until every response slot of this session has been resolved
+    /// (answered, failed over and answered, or failed) — including
+    /// requests momentarily in failover limbo between two pending queues.
+    fn drain_pending(&self, skip: Option<u64>) {
+        self.session.slots.drain_resolved(skip);
     }
 
     /// The in-band `shutdown`: reject new work router-wide, drain this
     /// session's forwards, forward the shutdown to every shard (drain
     /// semantics, once per router), then ack.
     fn handle_shutdown(&mut self, index: u64, id: Json) {
-        self.core.shutdown.store(true, Ordering::SeqCst);
-        self.drain_pending();
-        let streams: Vec<Option<TcpStream>> = self
-            .conns
-            .iter_mut()
-            .map(|slot| slot.take().and_then(ShardConn::retire))
-            .collect();
-        self.core.teardown_shards(streams);
-        self.shared
+        self.core().shutdown.store(true, Ordering::SeqCst);
+        self.drain_pending(Some(index));
+        let streams: Vec<Option<TcpStream>> = {
+            let mut conns = lock_ok(&self.session.conns);
+            let taken: Vec<Option<ShardConn>> =
+                conns.iter_mut().map(std::option::Option::take).collect();
+            drop(conns);
+            taken
+                .into_iter()
+                .map(|slot| slot.and_then(ShardConn::retire))
+                .collect()
+        };
+        self.core().teardown_shards(streams);
+        self.session
+            .slots
             .set_line(index, protocol::op_response(&id, "shutdown"), false, false);
     }
 
     /// Ends the session: waits out in-flight forwards, retires the
     /// connections (pooling the clean ones), and releases the writer.
     pub(crate) fn finish(&mut self) {
-        self.drain_pending();
-        for (shard, slot) in self.conns.iter_mut().enumerate() {
-            if let Some(conn) = slot.take() {
+        self.drain_pending(None);
+        let taken: Vec<Option<ShardConn>> = {
+            let mut conns = lock_ok(&self.session.conns);
+            conns.iter_mut().map(std::option::Option::take).collect()
+        };
+        for (shard, slot) in taken.into_iter().enumerate() {
+            if let Some(conn) = slot {
                 if let Some(stream) = conn.retire() {
-                    if !self.core.shutdown.load(Ordering::SeqCst) {
-                        self.core.return_connection(shard, stream);
+                    if !self.core().shutdown.load(Ordering::SeqCst) {
+                        self.core().return_connection(shard, stream);
                     }
                 }
             }
         }
-        self.shared.finish_input();
+        self.session.slots.finish_input();
     }
 
     /// Sets the final `responses` count (transports that pump the writer
     /// themselves feed the [`write_router_responses`] return value here).
     pub(crate) fn record_responses(&mut self, written: u64) {
         self.summary.responses = written;
+    }
+}
+
+/// Result of one forwarding attempt.
+enum ForwardOutcome {
+    /// Enqueued and written (or poked for replay) — the request will be
+    /// answered or failed over by the reader.
+    Sent,
+    /// The shard could not accept the request at all; the message is the
+    /// would-be `shard_unavailable` diagnostic.
+    ShardLost(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let shared = Arc::new(Mutex::new(41u64));
+        let poisoner = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "the panic must have poisoned it");
+        // lock_ok recovers the inner data where .lock().expect() would
+        // abort the caller.
+        let mut guard = lock_ok(&shared);
+        assert_eq!(*guard, 41);
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock_ok(&shared), 42);
+    }
+
+    #[test]
+    fn poisoned_condvar_waits_recover_too() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let poisoner = state.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.0.lock().unwrap();
+            panic!("poison the condvar mutex");
+        })
+        .join();
+        let flipper = state.clone();
+        std::thread::spawn(move || {
+            *lock_ok(&flipper.0) = true;
+            flipper.1.notify_all();
+        });
+        let mut guard = lock_ok(&state.0);
+        while !*guard {
+            guard = wait_ok(&state.1, guard);
+        }
+    }
+
+    #[test]
+    fn next_candidate_prefers_live_replicas_in_rank_order() {
+        let topology = Topology::parse("a=h:1,b=h:2,c=h:3").unwrap();
+        let router = Router::new(topology, RouterConfig::default()).unwrap();
+        let core = &router.core;
+        let mut fallbacks = vec![1, 2, 0];
+        core.mark_alive(1, false);
+        assert_eq!(next_candidate(core, &mut fallbacks), Some(2));
+        assert_eq!(fallbacks, vec![1, 0]);
+        core.mark_alive(0, false);
+        // Only dead ones left alive-wise? 1 and 0 are dead: take the
+        // best-ranked anyway and let the dial decide.
+        assert_eq!(next_candidate(core, &mut fallbacks), Some(1));
+        assert_eq!(next_candidate(core, &mut fallbacks), Some(0));
+        assert_eq!(next_candidate(core, &mut fallbacks), None);
+    }
+
+    #[test]
+    fn zero_replicas_is_a_config_error() {
+        let topology = Topology::parse("127.0.0.1:1").unwrap();
+        let config = RouterConfig {
+            replicas: 0,
+            ..RouterConfig::default()
+        };
+        assert!(Router::new(topology, config).is_err());
     }
 }

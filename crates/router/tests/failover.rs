@@ -1,13 +1,18 @@
 //! Failure handling and shard diagnostics: reconnect-and-replay against
-//! a flaky shard, typed `shard_unavailable` errors for a lost shard,
-//! `unknown_shard` for bad addressing, shard-tagged stats/error
-//! responses, and the topology-validation seam.
+//! a flaky shard, replica-set failover (kill the top replica mid-stream,
+//! stream stays byte-identical), prober flap re-admission, typed
+//! `shard_unavailable` errors for a lost shard, `unknown_shard` for bad
+//! addressing, shard-tagged stats/error responses, and the
+//! topology-validation seam.
 
-use mg_router::{LocalCluster, Router, RouterConfig, ShardSpec, Topology, TopologyError};
-use mg_server::{Service, ServiceConfig};
-use std::io::{BufRead, BufReader};
+use mg_core::service::placement_key;
+use mg_router::{
+    place_replicas, LocalCluster, Router, RouterConfig, ShardSpec, Topology, TopologyError,
+};
+use mg_server::{protocol, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Read};
 use std::net::TcpListener;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const PING: &str = "{\"id\":1,\"op\":\"ping\"}\n";
 const PARTITION: &str =
@@ -19,6 +24,240 @@ fn fast_config() -> RouterConfig {
         retry_delay: Duration::from_millis(50),
         ..RouterConfig::default()
     }
+}
+
+/// A script source that fires a callback right before the session reads
+/// line `kill_at` (0-based) — i.e. after every earlier line has been
+/// routed — so tests can sever a shard at an exact point in the stream.
+struct ScriptReader<F: FnMut()> {
+    lines: Vec<Vec<u8>>,
+    next: usize,
+    offset: usize,
+    kill_at: usize,
+    kill: Option<F>,
+}
+
+impl<F: FnMut()> ScriptReader<F> {
+    fn new(script: &[&str], kill_at: usize, kill: F) -> BufReader<Self> {
+        BufReader::new(ScriptReader {
+            lines: script
+                .iter()
+                .map(|l| format!("{l}\n").into_bytes())
+                .collect(),
+            next: 0,
+            offset: 0,
+            kill_at,
+            kill: Some(kill),
+        })
+    }
+}
+
+impl<F: FnMut()> Read for ScriptReader<F> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.next >= self.lines.len() {
+            return Ok(0);
+        }
+        if self.offset == 0 && self.next == self.kill_at {
+            if let Some(mut kill) = self.kill.take() {
+                kill();
+            }
+        }
+        let line = &self.lines[self.next];
+        let n = (line.len() - self.offset).min(buf.len());
+        buf[..n].copy_from_slice(&line[self.offset..self.offset + n]);
+        self.offset += n;
+        if self.offset == line.len() {
+            self.next += 1;
+            self.offset = 0;
+        }
+        Ok(n)
+    }
+}
+
+/// The replica set a partition request line maps to under the given
+/// topology — computed through the same public seams the router uses.
+fn replica_set(line: &str, topology: &Topology, r: usize) -> Vec<usize> {
+    let request = protocol::parse_request_line(line).expect("test script line parses");
+    let spec = request.spec.expect("partition line carries a spec");
+    let placement = placement_key(&spec.matrix).expect("placement key");
+    place_replicas(placement.key, topology.shards(), false, r)
+}
+
+/// Six distinct small matrices (no repeats, so every response is
+/// deterministically `cached: false`) plus a ping — the kill-mid-stream
+/// script.
+fn distinct_script() -> Vec<String> {
+    let mut lines: Vec<String> = (0..6u64)
+        .map(|i| {
+            let n = 3 + i;
+            let entries: Vec<String> = (0..n)
+                .map(|d| format!("[{d},{d}]"))
+                .chain((1..n).map(|d| format!("[{},{}]", d - 1, d)))
+                .collect();
+            format!(
+                "{{\"id\":{i},\"matrix\":{{\"rows\":{n},\"cols\":{n},\"entries\":[{}]}}}}",
+                entries.join(",")
+            )
+        })
+        .collect();
+    lines.push("{\"id\":\"bye\",\"op\":\"ping\"}".to_string());
+    lines
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The tentpole acceptance pin: with `--replicas 2` over three shards,
+/// SIGKILL-equivalently severing the top replica of an in-flight stream
+/// leaves the client's response bytes identical to a healthy
+/// single-shard run — at shard thread counts 1, 2 and 4.
+#[test]
+fn killing_the_top_replica_mid_stream_keeps_the_stream_byte_identical() {
+    let script = distinct_script();
+    let script_refs: Vec<&str> = script.iter().map(String::as_str).collect();
+    // Healthy reference: one plain shard, default (replicas = 1) router.
+    let reference = {
+        let cluster = LocalCluster::spawn(1, |_| ServiceConfig::default());
+        let router = cluster.router(RouterConfig::default());
+        let mut out = Vec::new();
+        let input = script.iter().map(|l| format!("{l}\n")).collect::<String>();
+        router.run_session(input.as_bytes(), &mut out);
+        drop(router);
+        cluster.shutdown();
+        String::from_utf8(out).unwrap()
+    };
+    assert_eq!(reference.lines().count(), script.len());
+
+    for threads in [1usize, 2, 4] {
+        let mut cluster = LocalCluster::spawn_killable(3, |_| ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        });
+        let topology = cluster.topology();
+        let router = cluster.router(RouterConfig {
+            replicas: 2,
+            connect_attempts: 2,
+            retry_delay: Duration::from_millis(50),
+            probe_interval: Duration::from_millis(100),
+            ..RouterConfig::default()
+        });
+        // Sever the primary of the line that will be read right after
+        // the kill: that request *must* fail over to its rank-2 replica,
+        // and any unanswered earlier request on the same shard must be
+        // replayed too.
+        let kill_at = 3usize;
+        let victim = replica_set(&script[kill_at], &topology, 2)[0];
+        let victim_id = topology.shards()[victim].id.clone();
+        let shard = &mut cluster.shards[victim];
+        let input = ScriptReader::new(&script_refs, kill_at, || shard.kill());
+        let mut out = Vec::new();
+        let summary = router.run_session(input, &mut out);
+        assert_eq!(summary.received, script.len() as u64);
+        assert_eq!(
+            router.shard_alive(&victim_id),
+            Some(false),
+            "the killed replica is marked dead (threads={threads})"
+        );
+        drop(router);
+        cluster.shutdown();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            reference,
+            "failover must be invisible in the stream (threads={threads}, victim={victim_id})"
+        );
+    }
+}
+
+/// Dead replicas surface in the router-local stats line (and the public
+/// accessors), while healthy replicated runs report byte-identically to
+/// unreplicated ones.
+#[test]
+fn dead_replicas_surface_in_router_stats() {
+    let mut cluster = LocalCluster::spawn_killable(2, |_| ServiceConfig::default());
+    let topology = cluster.topology();
+    let router = cluster.router(RouterConfig {
+        replicas: 2,
+        connect_attempts: 2,
+        retry_delay: Duration::from_millis(50),
+        probe_interval: Duration::from_millis(100),
+        ..RouterConfig::default()
+    });
+    // Kill the request's primary before any traffic and let the prober
+    // notice, so the session deterministically dispatches to the rank-2
+    // replica and the stats line (written only after every earlier slot
+    // resolved) reports the casualty.
+    let victim = replica_set(PARTITION.trim(), &topology, 2)[0];
+    let victim_id = topology.shards()[victim].id.clone();
+    cluster.shards[victim].kill();
+    wait_until(
+        "the prober to mark the shard dead",
+        Duration::from_secs(10),
+        || router.shard_alive(&victim_id) == Some(false),
+    );
+    let script = format!("{PARTITION}{{\"id\":8,\"op\":\"stats\"}}\n");
+    let mut out = Vec::new();
+    router.run_session(script.as_bytes(), &mut out);
+    let text = String::from_utf8(out).unwrap();
+    let stats = text.lines().last().unwrap();
+    assert!(
+        text.lines()
+            .next()
+            .unwrap()
+            .contains("\"id\":7,\"status\":\"ok\""),
+        "the failed-over request is still answered for real: {text}"
+    );
+    assert!(stats.contains("\"replicas\":2"), "{stats}");
+    assert!(
+        stats.contains(&format!("\"dead\":[\"{victim_id}\"]")),
+        "stats names the dead replica: {stats}"
+    );
+    assert!(stats.contains("\"failovers\":"), "{stats}");
+    assert!(router.failovers() >= 1);
+    drop(router);
+    cluster.shutdown();
+}
+
+/// The health prober marks a killed replica dead and — once it flaps
+/// back — re-admits it, so traffic returns to the primary.
+#[test]
+fn prober_flaps_readmit_a_revived_replica() {
+    let mut cluster = LocalCluster::spawn_killable(2, |_| ServiceConfig::default());
+    let router = cluster.router(RouterConfig {
+        replicas: 2,
+        connect_attempts: 2,
+        retry_delay: Duration::from_millis(25),
+        probe_interval: Duration::from_millis(25),
+        ..RouterConfig::default()
+    });
+    let id = cluster.shards[0].spec.id.clone();
+    assert_eq!(router.shard_alive(&id), Some(true));
+    assert_eq!(router.shard_alive("nope"), None);
+    cluster.shards[0].kill();
+    wait_until(
+        "the prober to mark the shard dead",
+        Duration::from_secs(10),
+        || router.shard_alive(&id) == Some(false),
+    );
+    cluster.shards[0].revive();
+    wait_until(
+        "the prober to re-admit the shard",
+        Duration::from_secs(10),
+        || router.shard_alive(&id) == Some(true),
+    );
+    // The re-admitted replica serves again: a fresh session works no
+    // matter which shard owns the key.
+    let mut out = Vec::new();
+    let summary = router.run_session(PARTITION.as_bytes(), &mut out);
+    assert_eq!(summary.errors, 0);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("\"id\":7,\"status\":\"ok\""), "{text}");
+    drop(router);
+    cluster.shutdown();
 }
 
 /// A shard whose first connection reads one request and drops dead

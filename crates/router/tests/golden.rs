@@ -33,10 +33,15 @@ fn shard_config(threads: usize) -> ServiceConfig {
 }
 
 fn run(shards: usize, threads: usize) -> String {
+    run_with(shards, threads, RouterConfig::default())
+}
+
+fn run_with(shards: usize, threads: usize, config: RouterConfig) -> String {
     let cluster = LocalCluster::spawn(shards, |_| shard_config(threads));
-    let router = cluster.router(RouterConfig::default());
+    let router = cluster.router(config);
     let mut out = Vec::new();
     router.run_session(REQUESTS.as_bytes(), &mut out);
+    drop(router);
     cluster.shutdown();
     String::from_utf8(out).unwrap()
 }
@@ -51,6 +56,26 @@ fn route_script_reproduces_the_checked_in_golden_stream() {
              (shards={shards}, threads={threads}); if the change is \
              intentional, regenerate with two `mgpart serve --listen` \
              shards and `mgpart route` as in the router-smoke CI job"
+        );
+    }
+}
+
+/// Replication is invisible while everyone is healthy: `--replicas 2`
+/// (and 3) over a healthy cluster replays the checked-in golden
+/// byte-for-byte — the acceptance pin that turning replication on never
+/// perturbs a stream, and that `--replicas 1` is the exact status quo.
+#[test]
+fn healthy_replicated_topologies_reproduce_the_golden_stream() {
+    for (shards, threads, replicas) in [(2usize, 2usize, 2usize), (3, 4, 2), (3, 1, 3)] {
+        let config = RouterConfig {
+            replicas,
+            ..RouterConfig::default()
+        };
+        assert_eq!(
+            run_with(shards, threads, config),
+            GOLDEN,
+            "replicated healthy stream drifted (shards={shards}, \
+             threads={threads}, replicas={replicas})"
         );
     }
 }
