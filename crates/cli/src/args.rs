@@ -44,6 +44,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--read-deadline",
     // request:
     "--timeout",
+    // bench (the wire-path benchmark harness):
+    "--requests",
+    "--validate",
 ];
 
 impl Parsed {

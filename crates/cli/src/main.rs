@@ -32,6 +32,7 @@ use rand::SeedableRng;
 use std::process::ExitCode;
 
 mod args;
+mod bench;
 use args::Parsed;
 
 const USAGE: &str = "\
@@ -47,6 +48,7 @@ USAGE:
   mgpart serve     [options]                streaming partition service (JSON lines)
   mgpart route     --shards LIST [options]  sharding front end over mg-server shards
   mgpart request   [ADDR] [options]         build / send one service request
+  mgpart bench     [options]                wire-path benchmark (BENCH trajectory)
   mgpart help
 
 PARTITION OPTIONS:
@@ -137,6 +139,19 @@ REQUEST OPTIONS:
                 (default: wait forever)
   --print       print the request line instead of sending it
 
+BENCH OPTIONS (schema: mgpart-bench/v1; trajectory files: BENCH_<n>.json):
+  --requests N  base request count per workload  (default 96; --quick 24)
+  --threads N   worker threads of each measured service, 0 = all cores
+  --quick       smaller counts for CI smoke runs
+  --json        print the machine-readable JSON document to stdout
+  -o FILE       write the JSON document to FILE
+  --validate F  schema-check a bench document and enforce the trajectory
+                gates (binary beats JSON on request bytes for inline-COO
+                workloads and on throughput for the decode-bound cached
+                workload); nonzero exit on violation
+  --conformance run one mixed stream through both codecs at 1/2/4 worker
+                threads and require byte-identical response texts
+
 GENERATE FAMILIES:
   laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
   laplace3d [k]   7-point Laplacian on a k×k×k grid    (default k = 16)
@@ -171,6 +186,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "serve" => serve(&Parsed::parse(&argv[1..])?),
         "route" => route(&Parsed::parse(&argv[1..])?),
         "request" => request(&Parsed::parse(&argv[1..])?),
+        "bench" => bench::bench(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -40,6 +40,10 @@ pub enum RequestOp {
     Stats,
     /// Stop accepting new work, drain in-flight jobs, then exit.
     Shutdown,
+    /// Negotiate the wire codec of this connection (JSON lines or binary
+    /// frames); answered in stream order, the switch applies to every
+    /// subsequent unit on both directions of the stream.
+    Hello,
 }
 
 /// One partition request, decoded but not yet executed.

@@ -49,6 +49,7 @@ use crate::config::Topology;
 use crate::placement::place_replicas;
 use mg_core::service::{placement_key, ErrorCode, RequestOp};
 use mg_core::{parse_backend, DEFAULT_BACKEND};
+use mg_server::codec::{self, UnitKind, UnitScanner, WireCodec};
 use mg_server::json::obj;
 use mg_server::{protocol, Json, LruCache};
 use std::collections::VecDeque;
@@ -282,7 +283,7 @@ impl Router {
     /// response has been written.
     pub fn run_session<R: BufRead, W: Write + Send>(
         &self,
-        input: R,
+        mut input: R,
         mut output: W,
     ) -> RouterSummary {
         let mut driver = RouterSessionDriver::new(self.core.clone());
@@ -290,10 +291,42 @@ impl Router {
         let _ = crossbeam::scope(|scope| {
             let out = &mut output;
             let writer = scope.spawn(move |_| write_router_responses(&shared, out));
-            for line in input.lines() {
-                let Ok(line) = line else { break };
-                if !driver.handle_line(&line) {
-                    break;
+            let mut scanner = UnitScanner::new();
+            'session: loop {
+                let consumed = match input.fill_buf() {
+                    Ok([]) => {
+                        // A final request without its `\n` terminator is
+                        // still a request.
+                        if let Some(tail) = scanner.take_eof_remainder() {
+                            driver.handle_unit(UnitKind::Line, &tail);
+                        }
+                        break;
+                    }
+                    Ok(chunk) => {
+                        scanner.push(chunk);
+                        chunk.len()
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                input.consume(consumed);
+                loop {
+                    match scanner.next_unit() {
+                        Ok(Some((kind, range))) => {
+                            let go = driver.handle_unit(kind, scanner.bytes(&range));
+                            if let Some(codec) = driver.take_codec_switch() {
+                                scanner.set_codec(codec);
+                            }
+                            if !go {
+                                break 'session;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            driver.protocol_error(&e.message);
+                            break 'session;
+                        }
+                    }
                 }
             }
             driver.finish();
@@ -537,6 +570,9 @@ enum RSlot {
         cached: bool,
         /// The response is an error line.
         error: bool,
+        /// A `hello` negotiation: the writer emits this line in the old
+        /// codec, then switches.
+        switch: Option<WireCodec>,
     },
     Stats {
         id: Json,
@@ -591,6 +627,19 @@ impl RouterShared {
                 line,
                 cached,
                 error,
+                switch: None,
+            },
+        );
+    }
+
+    fn set_switch(&self, index: u64, line: String, codec: WireCodec) {
+        self.set(
+            index,
+            RSlot::Ready {
+                line,
+                cached: false,
+                error: false,
+                switch: Some(codec),
             },
         );
     }
@@ -626,6 +675,7 @@ impl RouterShared {
 /// responses written.
 pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &mut W) -> u64 {
     let mut written = 0u64;
+    let mut wire = WireCodec::JsonLines;
     let mut cache_hits = 0u64;
     let mut errors = 0u64;
     loop {
@@ -643,12 +693,14 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
             state.base += 1;
             state.slots.pop_front().expect("checked front")
         };
+        let mut switch = None;
         let line = match slot {
             RSlot::Pending => unreachable!("writer only pops resolved slots"),
             RSlot::Ready {
                 line,
                 cached,
                 error,
+                switch: slot_switch,
             } => {
                 if cached {
                     cache_hits += 1;
@@ -656,6 +708,7 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                 if error {
                     errors += 1;
                 }
+                switch = slot_switch;
                 line
             }
             RSlot::Stats { id, received, core } => {
@@ -684,11 +737,14 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                 obj(fields).to_string()
             }
         };
-        if output.write_all(line.as_bytes()).is_ok()
-            && output.write_all(b"\n").is_ok()
-            && output.flush().is_ok()
-        {
+        // Shard responses are forwarded opaquely: whatever codec the
+        // *client* negotiated, the response document's text is the shard
+        // line byte-for-byte — only the framing around it changes.
+        if codec::write_response_unit(output, wire, &line).is_ok() {
             written += 1;
+        }
+        if let Some(next) = switch {
+            wire = next;
         }
     }
 }
@@ -1078,6 +1134,9 @@ pub(crate) struct RouterSessionDriver {
     session: Arc<SessionState>,
     pub(crate) summary: RouterSummary,
     next_index: u64,
+    /// A `hello` just switched the *inbound* codec; the transport takes
+    /// this and retunes its scanner before the next unit.
+    pending_switch: Option<WireCodec>,
 }
 
 impl RouterSessionDriver {
@@ -1091,6 +1150,7 @@ impl RouterSessionDriver {
             }),
             summary: RouterSummary::default(),
             next_index: 0,
+            pending_switch: None,
         }
     }
 
@@ -1102,6 +1162,117 @@ impl RouterSessionDriver {
         self.session.slots.clone()
     }
 
+    /// Allocates the next response slot in stream order.
+    fn begin(&mut self) -> u64 {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.summary.received += 1;
+        self.session.slots.push_pending();
+        index
+    }
+
+    /// Handles one scanned protocol unit (a request line or a binary
+    /// frame payload). Returns `false` when the session should stop
+    /// reading (an in-band `shutdown`).
+    pub(crate) fn handle_unit(&mut self, kind: UnitKind, bytes: &[u8]) -> bool {
+        match kind {
+            UnitKind::Line => self.handle_text(bytes),
+            UnitKind::Frame => self.handle_frame(bytes),
+        }
+    }
+
+    /// After a unit containing a `hello`: the codec the inbound scanner
+    /// must switch to before the next unit.
+    pub(crate) fn take_codec_switch(&mut self) -> Option<WireCodec> {
+        self.pending_switch.take()
+    }
+
+    /// Reports a fatal framing violation as a typed error response; the
+    /// transport closes the session after this.
+    pub(crate) fn protocol_error(&mut self, message: &str) {
+        let index = self.begin();
+        self.local_error(index, &Json::Null, ErrorCode::BadRequest, message, None);
+    }
+
+    fn handle_text(&mut self, bytes: &[u8]) -> bool {
+        match std::str::from_utf8(bytes) {
+            Ok(text) => self.handle_line(text.trim_end_matches('\r')),
+            Err(_) => {
+                let index = self.begin();
+                self.local_error(
+                    index,
+                    &Json::Null,
+                    ErrorCode::BadRequest,
+                    "request bytes are not valid UTF-8",
+                    None,
+                );
+                true
+            }
+        }
+    }
+
+    /// A binary frame at the router's edge: JSON payloads re-enter the
+    /// line path (and are forwarded as the original text); binary
+    /// partition payloads are decoded once and forwarded to the (JSON-
+    /// lines) shards as their canonical re-rendered line.
+    fn handle_frame(&mut self, payload: &[u8]) -> bool {
+        match payload.split_first() {
+            None => {
+                let index = self.begin();
+                self.local_error(
+                    index,
+                    &Json::Null,
+                    ErrorCode::BadRequest,
+                    "empty frame",
+                    None,
+                );
+                true
+            }
+            Some((&codec::KIND_JSON, body)) => self.handle_text(body),
+            Some((&codec::KIND_PARTITION, body)) => {
+                let index = self.begin();
+                match codec::decode_partition_payload(body) {
+                    Ok(request) => {
+                        let line = codec::request_json_line(&request);
+                        let spec = request.spec.expect("partition requests carry a spec");
+                        self.route_partition(index, &line, request.id, spec);
+                        true
+                    }
+                    Err(e) => {
+                        self.local_error(index, &e.id, e.code, &e.message, None);
+                        true
+                    }
+                }
+            }
+            Some((&codec::KIND_BATCH, body)) => match codec::batch_subframes(body) {
+                Ok(subs) => {
+                    for sub in subs {
+                        if !self.handle_frame(&body[sub]) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Err(message) => {
+                    let index = self.begin();
+                    self.local_error(index, &Json::Null, ErrorCode::BadRequest, &message, None);
+                    true
+                }
+            },
+            Some((&kind, _)) => {
+                let index = self.begin();
+                self.local_error(
+                    index,
+                    &Json::Null,
+                    ErrorCode::BadRequest,
+                    &format!("unknown frame kind 0x{kind:02x}"),
+                    None,
+                );
+                true
+            }
+        }
+    }
+
     /// Decodes and routes one request line. Returns `false` when the
     /// session should stop reading (an in-band `shutdown`).
     pub(crate) fn handle_line(&mut self, raw: &str) -> bool {
@@ -1109,11 +1280,7 @@ impl RouterSessionDriver {
         if line.is_empty() {
             return true;
         }
-        let index = self.next_index;
-        self.next_index += 1;
-        self.summary.received += 1;
-        self.session.slots.push_pending();
-
+        let index = self.begin();
         let request = match protocol::parse_request_line(line) {
             Ok(request) => request,
             Err(e) => {
@@ -1138,6 +1305,18 @@ impl RouterSessionDriver {
             RequestOp::Shutdown => {
                 self.handle_shutdown(index, request.id);
                 false
+            }
+            RequestOp::Hello => {
+                // Codec negotiation is strictly between client and
+                // router; shard connections always speak JSON lines.
+                let codec = request.codec.unwrap_or(WireCodec::JsonLines);
+                self.pending_switch = Some(codec);
+                self.session.slots.set_switch(
+                    index,
+                    protocol::hello_response(&request.id, codec),
+                    codec,
+                );
+                true
             }
             RequestOp::Partition => {
                 let spec = request.spec.expect("partition requests carry a spec");

@@ -1,10 +1,15 @@
 //! Router transports: the same JSON-lines protocol over a stdio pipe or
 //! a threaded TCP listener — the exact scheme `mg-server` uses, so a
 //! client cannot tell a router from a shard by transport behaviour.
+//! Like a shard, each connection starts in JSON-lines mode and may
+//! negotiate binary frames via `hello` (see `mg_server::codec`); the
+//! router's *shard-facing* connections always stay on JSON lines.
 
 use crate::router::{write_router_responses, Router, RouterSummary};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use mg_server::codec::{UnitKind, UnitScanner};
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +36,7 @@ pub struct RouterTcpServer {
     /// The bound address (useful with port 0).
     pub local_addr: SocketAddr,
     accept_thread: std::thread::JoinHandle<()>,
+    live_sessions: Arc<AtomicUsize>,
 }
 
 impl RouterTcpServer {
@@ -40,13 +46,23 @@ impl RouterTcpServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let live_sessions = Arc::new(AtomicUsize::new(0));
+        let live = live_sessions.clone();
         let accept_thread = std::thread::Builder::new()
             .name("mg-router-accept".into())
-            .spawn(move || accept_loop(&router, &listener))?;
+            .spawn(move || accept_loop(&router, &listener, &live))?;
         Ok(RouterTcpServer {
             local_addr,
             accept_thread,
+            live_sessions,
         })
+    }
+
+    /// Session handles the accept loop currently retains: sessions still
+    /// running plus any finished ones not yet reaped by the next sweep.
+    /// Bounded by the number of concurrently open connections.
+    pub fn live_sessions(&self) -> usize {
+        self.live_sessions.load(Ordering::SeqCst)
     }
 
     /// Waits for the accept loop (and every session it spawned) to end —
@@ -57,9 +73,13 @@ impl RouterTcpServer {
     }
 }
 
-fn accept_loop(router: &Arc<Router>, listener: &TcpListener) {
+fn accept_loop(router: &Arc<Router>, listener: &TcpListener, live: &Arc<AtomicUsize>) {
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
+        // Reap finished sessions on every pass so a long-lived router
+        // holds handles only for connections that are actually open.
+        sessions.retain(|session| !session.is_finished());
+        live.store(sessions.len(), Ordering::SeqCst);
         if router.is_shutting_down() {
             break;
         }
@@ -83,12 +103,13 @@ fn accept_loop(router: &Arc<Router>, listener: &TcpListener) {
     for session in sessions {
         let _ = session.join();
     }
+    live.store(0, Ordering::SeqCst);
 }
 
 /// One TCP connection: a timeout-aware read loop on this thread, the
 /// response writer on a second thread over a cloned stream handle (the
 /// same split as an `mg-server` TCP session).
-fn tcp_session(router: &Arc<Router>, stream: TcpStream) {
+fn tcp_session(router: &Arc<Router>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
@@ -107,17 +128,43 @@ fn tcp_session(router: &Arc<Router>, stream: TcpStream) {
         return;
     };
 
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => break,
-            Ok(_) => {
-                let line = String::from_utf8_lossy(&buf);
-                let go = driver.handle_line(line.trim_end_matches(['\r', '\n']));
-                buf.clear();
-                if !go {
-                    break;
+    // Raw reads into the unit scanner: a request split across packets (or
+    // across read timeouts) stays buffered until its terminator — or its
+    // declared frame length — arrives, whatever the codec.
+    let mut scanner = UnitScanner::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'session: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Client closed the connection. A final request without
+                // its `\n` terminator is still a request — process the
+                // buffered remainder instead of silently dropping it.
+                if let Some(tail) = scanner.take_eof_remainder() {
+                    driver.handle_unit(UnitKind::Line, &tail);
+                }
+                break;
+            }
+            Ok(n) => {
+                scanner.push(&chunk[..n]);
+                loop {
+                    match scanner.next_unit() {
+                        Ok(Some((kind, range))) => {
+                            let go = driver.handle_unit(kind, scanner.bytes(&range));
+                            if let Some(codec) = driver.take_codec_switch() {
+                                scanner.set_codec(codec);
+                            }
+                            if !go {
+                                break 'session;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Unresynchronisable framing violation: answer
+                            // with a typed error, then end the session.
+                            driver.protocol_error(&e.message);
+                            break 'session;
+                        }
+                    }
                 }
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {

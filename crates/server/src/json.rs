@@ -103,11 +103,16 @@ impl Json {
     }
 
     /// Exact non-negative integer view.
+    ///
+    /// The float bound is strict: `u64::MAX as f64` rounds *up* to 2^64,
+    /// so accepting `<=` would let `Num(18446744073709551616.0)` through
+    /// and the saturating `as u64` cast would silently turn it into
+    /// `u64::MAX`. Every f64 strictly below 2^64 is integral-exact here.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::UInt(u) => Some(*u),
             Json::Int(_) => None,
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 => {
                 Some(*x as u64)
             }
             _ => None,
@@ -495,6 +500,24 @@ mod tests {
         assert_eq!(parsed, Json::UInt(big));
         assert_eq!(parsed.as_u64(), Some(big));
         assert_eq!(parsed.to_string(), big.to_string());
+    }
+
+    #[test]
+    fn as_u64_rejects_floats_at_and_above_two_pow_64() {
+        // `u64::MAX as f64` rounds UP to 2^64 exactly, so a `<=` bound
+        // would accept this value and the saturating cast would silently
+        // return u64::MAX. The bound must be strict.
+        assert_eq!(Json::Num(18446744073709551616.0).as_u64(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_u64(), None);
+        // The largest f64 strictly below 2^64 is exact and must pass.
+        let edge = 18446744073709549568.0_f64;
+        assert!(edge < u64::MAX as f64);
+        assert_eq!(Json::Num(edge).as_u64(), Some(18446744073709549568));
+        // And a huge literal parses as UInt, never touching the float path.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
     }
 
     #[test]

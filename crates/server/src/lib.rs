@@ -41,16 +41,18 @@
 //! ```
 
 pub mod cache;
+pub mod codec;
 pub mod json;
 pub mod protocol;
 pub mod service;
 pub mod transport;
 
 pub use cache::LruCache;
+pub use codec::{UnitKind, UnitScanner, WireCodec};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    error_response, ok_response, op_response, parse_request_line, stats_response, Request,
-    RequestError, StatsSnapshot, DEFAULT_EPSILON, DEFAULT_METHOD,
+    error_response, hello_response, ok_response, op_response, parse_request_line, stats_response,
+    Request, RequestError, StatsSnapshot, DEFAULT_EPSILON, DEFAULT_METHOD,
 };
 pub use service::{Service, ServiceConfig, SessionDriver, SessionSummary};
 pub use transport::{serve_pipe, serve_stdio, TcpServer};

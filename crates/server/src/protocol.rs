@@ -9,6 +9,7 @@
 //! workspace — so a malformed payload surfaces the library's typed errors
 //! verbatim in the `message` field.
 
+use crate::codec::WireCodec;
 use crate::json::{obj, Json};
 use mg_core::service::{ErrorCode, MatrixPayload, PartitionOutcome, PartitionSpec, RequestOp};
 use mg_core::Method;
@@ -27,6 +28,10 @@ pub struct Request {
     /// "s1"}`): a router forwards the line to the named shard; a plain
     /// server answers with its own counters regardless.
     pub shard: Option<String>,
+    /// The wire codec a `hello` request asks to switch to (`{"op":
+    /// "hello","codec":"binary"}`); `None` on a bare hello means "stay
+    /// on JSON lines". Only present when `op == Hello`.
+    pub codec: Option<WireCodec>,
 }
 
 /// A request that failed to decode: the (best-effort) id to echo plus the
@@ -79,6 +84,7 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             "ping" => RequestOp::Ping,
             "stats" => RequestOp::Stats,
             "shutdown" => RequestOp::Shutdown,
+            "hello" => RequestOp::Hello,
             other => {
                 return Err(RequestError::new(
                     &id,
@@ -113,12 +119,40 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             ))
         }
     };
+    let codec = match doc.get("codec") {
+        None => None,
+        Some(Json::Str(s)) if op == RequestOp::Hello => match WireCodec::parse(s) {
+            Some(c) => Some(c),
+            None => {
+                return Err(RequestError::new(
+                    &id,
+                    ErrorCode::BadRequest,
+                    format!("unknown codec {s:?} (expected \"json\" or \"binary\")"),
+                ))
+            }
+        },
+        Some(_) if op == RequestOp::Hello => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"codec\" must be a string",
+            ))
+        }
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"codec\" only applies to hello requests",
+            ))
+        }
+    };
     if op != RequestOp::Partition {
         return Ok(Request {
             id,
             op,
             spec: None,
             shard,
+            codec,
         });
     }
 
@@ -208,6 +242,7 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             include_partition,
         }),
         shard: None,
+        codec: None,
     })
 }
 
@@ -390,6 +425,19 @@ pub fn error_response(id: &Json, code: ErrorCode, message: &str, shard: Option<&
     obj(fields).to_string()
 }
 
+/// Encodes the acknowledgement of a `hello` codec negotiation. The ack
+/// itself travels in the codec that was in effect *before* the hello;
+/// every unit after it uses the acknowledged codec.
+pub fn hello_response(id: &Json, codec: WireCodec) -> String {
+    obj(vec![
+        ("id", id.clone()),
+        ("status", Json::Str("ok".into())),
+        ("op", Json::Str("hello".into())),
+        ("codec", Json::Str(codec.name().into())),
+    ])
+    .to_string()
+}
+
 /// Encodes the response to a `ping` / `shutdown` op.
 pub fn op_response(id: &Json, op: &str) -> String {
     obj(vec![
@@ -479,6 +527,37 @@ mod tests {
                 entries: vec![(0, 0), (1, 1)]
             }
         );
+    }
+
+    #[test]
+    fn decodes_hello_and_validates_the_codec_field() {
+        let r = parse_request_line(r#"{"id":9,"op":"hello","codec":"binary"}"#).unwrap();
+        assert_eq!(r.op, RequestOp::Hello);
+        assert_eq!(r.codec, Some(WireCodec::Binary));
+        assert_eq!(
+            hello_response(&r.id, WireCodec::Binary),
+            r#"{"id":9,"status":"ok","op":"hello","codec":"binary"}"#
+        );
+
+        // Omitting the codec is a no-op hello (stays on JSON lines).
+        let r = parse_request_line(r#"{"op":"hello"}"#).unwrap();
+        assert_eq!(r.codec, None);
+        assert_eq!(
+            hello_response(&r.id, WireCodec::JsonLines),
+            r#"{"id":null,"status":"ok","op":"hello","codec":"json"}"#
+        );
+
+        // Unknown codec names and non-string values are typed errors.
+        let e = parse_request_line(r#"{"op":"hello","codec":"msgpack"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("msgpack"), "{}", e.message);
+        let e = parse_request_line(r#"{"op":"hello","codec":2}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+
+        // `codec` is meaningless outside hello.
+        let e = parse_request_line(r#"{"op":"ping","codec":"json"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("only applies to hello"), "{}", e.message);
     }
 
     #[test]

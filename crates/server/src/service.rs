@@ -33,6 +33,7 @@
 //! pending response, then lets the dispatcher exit.
 
 use crate::cache::LruCache;
+use crate::codec::{self, UnitKind, UnitScanner, WireCodec};
 use crate::json::Json;
 use crate::protocol;
 use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
@@ -458,17 +459,21 @@ impl Service {
             shared: Arc::new(SessionShared::new(self.engine.config.shard_id.clone())),
             summary: SessionSummary::default(),
             next_index: 0,
+            pending_switch: None,
         }
     }
 
-    /// Runs a full session over a generic line transport: reads requests
+    /// Runs a full session over a generic byte transport: reads requests
     /// from `input` on the calling thread while a scoped writer thread
-    /// streams responses to `output` in submission order. Returns when
-    /// the input is exhausted (EOF or an in-band `shutdown`) and every
-    /// response has been written.
+    /// streams responses to `output` in submission order. The stream
+    /// starts as JSON lines; a `hello` can switch it to binary frames
+    /// mid-session (both directions). A final request without its line
+    /// terminator is still processed at EOF. Returns when the input is
+    /// exhausted (EOF or an in-band `shutdown`) and every response has
+    /// been written.
     pub fn run_session<R: BufRead, W: Write + Send>(
         &self,
-        input: R,
+        mut input: R,
         mut output: W,
     ) -> SessionSummary {
         let mut driver = self.open_session();
@@ -476,10 +481,40 @@ impl Service {
         crossbeam::scope(|scope| {
             let out = &mut output;
             let writer = scope.spawn(move |_| write_responses(&shared, out));
-            for line in input.lines() {
-                let Ok(line) = line else { break };
-                if !driver.handle_line(&line) {
-                    break;
+            let mut scanner = UnitScanner::new();
+            'session: loop {
+                let consumed = match input.fill_buf() {
+                    Ok([]) => {
+                        if let Some(tail) = scanner.take_eof_remainder() {
+                            driver.handle_unit(UnitKind::Line, &tail);
+                        }
+                        break;
+                    }
+                    Ok(chunk) => {
+                        scanner.push(chunk);
+                        chunk.len()
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                input.consume(consumed);
+                loop {
+                    match scanner.next_unit() {
+                        Ok(Some((kind, range))) => {
+                            let go = driver.handle_unit(kind, scanner.bytes(&range));
+                            if let Some(codec) = driver.take_codec_switch() {
+                                scanner.set_codec(codec);
+                            }
+                            if !go {
+                                break 'session;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            driver.protocol_error(&e.message);
+                            break 'session;
+                        }
+                    }
                 }
             }
             driver.finish_input();
@@ -510,9 +545,12 @@ enum Slot {
     /// A finished response line; `computed` names the backend when the
     /// line is a freshly computed (not cache-served) partition result, so
     /// the writer can tally per-backend completions in stream order.
+    /// `switch` carries a `hello` codec negotiation: the writer emits
+    /// this line in the *old* codec, then switches.
     Ready {
         line: String,
         computed: Option<&'static str>,
+        switch: Option<WireCodec>,
     },
     /// A `stats` request, rendered by the writer when it reaches it.
     Stats {
@@ -575,12 +613,31 @@ impl SessionShared {
             Slot::Ready {
                 line,
                 computed: None,
+                switch: None,
             },
         );
     }
 
     fn set_computed(&self, index: u64, line: String, computed: Option<&'static str>) {
-        self.set_slot(index, Slot::Ready { line, computed });
+        self.set_slot(
+            index,
+            Slot::Ready {
+                line,
+                computed,
+                switch: None,
+            },
+        );
+    }
+
+    fn set_switch(&self, index: u64, line: String, codec: WireCodec) {
+        self.set_slot(
+            index,
+            Slot::Ready {
+                line,
+                computed: None,
+                switch: Some(codec),
+            },
+        );
     }
 
     fn set_stats(&self, index: u64, id: Json, snapshot: protocol::StatsSnapshot) {
@@ -600,6 +657,7 @@ impl SessionShared {
 /// returns the number of responses written.
 pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) -> u64 {
     let mut written = 0u64;
+    let mut wire = WireCodec::JsonLines;
     let mut completed: Vec<(&'static str, u64)> = mg_core::all_backends()
         .iter()
         .map(|b| (b.name(), 0u64))
@@ -619,27 +677,34 @@ pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) 
             state.base += 1;
             state.slots.pop_front().expect("checked front")
         };
-        let line = match slot {
+        let (line, switch) = match slot {
             Slot::Pending => unreachable!("writer only pops resolved slots"),
-            Slot::Ready { line, computed } => {
+            Slot::Ready {
+                line,
+                computed,
+                switch,
+            } => {
                 if let Some(backend) = computed {
                     if let Some(entry) = completed.iter_mut().find(|(name, _)| *name == backend) {
                         entry.1 += 1;
                     }
                 }
-                line
+                (line, switch)
             }
-            Slot::Stats { id, snapshot } => {
-                protocol::stats_response(&id, snapshot, &completed, shared.shard.as_deref())
-            }
+            Slot::Stats { id, snapshot } => (
+                protocol::stats_response(&id, snapshot, &completed, shared.shard.as_deref()),
+                None,
+            ),
         };
         // A broken pipe means the client is gone; keep draining slots so
         // the session still terminates cleanly.
-        if output.write_all(line.as_bytes()).is_ok()
-            && output.write_all(b"\n").is_ok()
-            && output.flush().is_ok()
-        {
+        if codec::write_response_unit(output, wire, &line).is_ok() {
             written += 1;
+        }
+        // A hello ack travels in the old codec; everything after it in
+        // the negotiated one.
+        if let Some(next) = switch {
+            wire = next;
         }
     }
 }
@@ -653,11 +718,121 @@ pub struct SessionDriver<'s> {
     shared: Arc<SessionShared>,
     summary: SessionSummary,
     next_index: u64,
+    /// A `hello` just switched the *inbound* codec; the transport takes
+    /// this ([`SessionDriver::take_codec_switch`]) and retunes its
+    /// scanner before parsing the next unit.
+    pending_switch: Option<WireCodec>,
 }
 
 impl SessionDriver<'_> {
     pub(crate) fn shared(&self) -> Arc<SessionShared> {
         self.shared.clone()
+    }
+
+    /// Allocates the next response slot in stream order.
+    fn begin(&mut self) -> u64 {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.summary.received += 1;
+        self.shared.push_pending();
+        index
+    }
+
+    fn fail(&mut self, index: u64, id: &Json, code: ErrorCode, message: &str) {
+        self.summary.errors += 1;
+        self.shared.set(
+            index,
+            protocol::error_response(id, code, message, self.shard()),
+        );
+    }
+
+    /// Handles one scanned protocol unit: a JSON-lines request line or a
+    /// binary frame payload. Returns `false` when the session should stop
+    /// reading (an in-band `shutdown`).
+    pub fn handle_unit(&mut self, kind: UnitKind, bytes: &[u8]) -> bool {
+        match kind {
+            UnitKind::Line => self.handle_text(bytes),
+            UnitKind::Frame => self.handle_frame(bytes),
+        }
+    }
+
+    /// After a unit that contained a `hello`: the codec the inbound
+    /// scanner must switch to before the next unit. (The *outbound*
+    /// switch rides on the response slot and is applied by the writer.)
+    pub fn take_codec_switch(&mut self) -> Option<WireCodec> {
+        self.pending_switch.take()
+    }
+
+    /// Reports a fatal framing violation (e.g. an oversized frame) as a
+    /// typed error response; the transport closes the session after this
+    /// since there is no way to resynchronise the stream.
+    pub fn protocol_error(&mut self, message: &str) {
+        let index = self.begin();
+        self.fail(index, &Json::Null, ErrorCode::BadRequest, message);
+    }
+
+    fn handle_text(&mut self, bytes: &[u8]) -> bool {
+        match std::str::from_utf8(bytes) {
+            Ok(text) => self.handle_line(text.trim_end_matches('\r')),
+            Err(_) => {
+                // Non-UTF-8 request bytes get a typed error, never a
+                // lossily mangled parse.
+                let index = self.begin();
+                self.fail(
+                    index,
+                    &Json::Null,
+                    ErrorCode::BadRequest,
+                    "request bytes are not valid UTF-8",
+                );
+                true
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, payload: &[u8]) -> bool {
+        match payload.split_first() {
+            None => {
+                let index = self.begin();
+                self.fail(index, &Json::Null, ErrorCode::BadRequest, "empty frame");
+                true
+            }
+            Some((&codec::KIND_JSON, body)) => self.handle_text(body),
+            Some((&codec::KIND_PARTITION, body)) => {
+                let index = self.begin();
+                match codec::decode_partition_payload(body) {
+                    Ok(request) => self.dispatch(index, request),
+                    Err(e) => {
+                        self.fail(index, &e.id, e.code, &e.message);
+                        true
+                    }
+                }
+            }
+            Some((&codec::KIND_BATCH, body)) => match codec::batch_subframes(body) {
+                Ok(subs) => {
+                    for sub in subs {
+                        if !self.handle_frame(&body[sub]) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Err(message) => {
+                    let index = self.begin();
+                    self.fail(index, &Json::Null, ErrorCode::BadRequest, &message);
+                    true
+                }
+            },
+            Some((&kind, _)) => {
+                let index = self.begin();
+                self.fail(
+                    index,
+                    &Json::Null,
+                    ErrorCode::BadRequest,
+                    &format!("unknown frame kind 0x{kind:02x}"),
+                );
+                true
+            }
+        }
     }
 
     /// Decodes and submits one request line. Returns `false` when the
@@ -668,22 +843,17 @@ impl SessionDriver<'_> {
         if line.is_empty() {
             return true;
         }
-        let index = self.next_index;
-        self.next_index += 1;
-        self.summary.received += 1;
-        self.shared.push_pending();
-
-        let request = match protocol::parse_request_line(line) {
-            Ok(request) => request,
+        let index = self.begin();
+        match protocol::parse_request_line(line) {
+            Ok(request) => self.dispatch(index, request),
             Err(e) => {
-                self.summary.errors += 1;
-                self.shared.set(
-                    index,
-                    protocol::error_response(&e.id, e.code, &e.message, self.shard()),
-                );
-                return true;
+                self.fail(index, &e.id, e.code, &e.message);
+                true
             }
-        };
+        }
+    }
+
+    fn dispatch(&mut self, index: u64, request: protocol::Request) -> bool {
         match request.op {
             RequestOp::Ping => {
                 self.shared
@@ -711,6 +881,14 @@ impl SessionDriver<'_> {
                 self.shared
                     .set(index, protocol::op_response(&request.id, "shutdown"));
                 false
+            }
+            RequestOp::Hello => {
+                // A bare hello (no codec field) re-affirms JSON lines.
+                let codec = request.codec.unwrap_or(WireCodec::JsonLines);
+                self.pending_switch = Some(codec);
+                self.shared
+                    .set_switch(index, protocol::hello_response(&request.id, codec), codec);
+                true
             }
             RequestOp::Partition => {
                 let spec = request.spec.expect("partition requests carry a spec");

@@ -7,11 +7,15 @@
 //! mode") is the testable, socket-free entry; TCP adds per-connection
 //! sessions with a shared engine, socket-level backpressure (the bounded
 //! submission queue blocks the reader, which stops draining the socket)
-//! and graceful drain-on-shutdown.
+//! and graceful drain-on-shutdown. Each connection starts in JSON-lines
+//! mode and may negotiate binary frames via `hello` (see
+//! [`crate::codec`]).
 
+use crate::codec::{UnitKind, UnitScanner};
 use crate::service::{write_responses, Service, SessionDriver, SessionSummary};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,6 +42,7 @@ pub struct TcpServer {
     pub local_addr: SocketAddr,
     accept_thread: std::thread::JoinHandle<()>,
     service: Arc<Service>,
+    live_sessions: Arc<AtomicUsize>,
 }
 
 impl TcpServer {
@@ -48,14 +53,25 @@ impl TcpServer {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let accept_service = service.clone();
+        let live_sessions = Arc::new(AtomicUsize::new(0));
+        let live = live_sessions.clone();
         let accept_thread = std::thread::Builder::new()
             .name("mg-server-accept".into())
-            .spawn(move || accept_loop(&accept_service, &listener))?;
+            .spawn(move || accept_loop(&accept_service, &listener, &live))?;
         Ok(TcpServer {
             local_addr,
             accept_thread,
             service,
+            live_sessions,
         })
+    }
+
+    /// Session handles the accept loop currently retains: the sessions
+    /// still running plus any finished ones not yet reaped by the next
+    /// sweep. Stays bounded by the number of *concurrently open*
+    /// connections, however many have come and gone.
+    pub fn live_sessions(&self) -> usize {
+        self.live_sessions.load(Ordering::SeqCst)
     }
 
     /// Waits for the accept loop (and every session it spawned) to end,
@@ -73,9 +89,15 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
+fn accept_loop(service: &Arc<Service>, listener: &TcpListener, live: &Arc<AtomicUsize>) {
     let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
+        // Reap finished sessions on every pass (including the idle 5 ms
+        // ticks), so a long-lived server holds handles only for
+        // connections that are actually open — not one per connection
+        // ever accepted.
+        sessions.retain(|session| !session.is_finished());
+        live.store(sessions.len(), Ordering::SeqCst);
         if service.is_shutting_down() {
             break;
         }
@@ -102,11 +124,12 @@ fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
     for session in sessions {
         let _ = session.join();
     }
+    live.store(0, Ordering::SeqCst);
 }
 
 /// One TCP connection: a timeout-aware read loop on this thread, the
 /// response writer on a second thread over a cloned stream handle.
-fn tcp_session(service: &Arc<Service>, stream: TcpStream) {
+fn tcp_session(service: &Arc<Service>, mut stream: TcpStream) {
     // The read timeout is what lets an idle connection notice shutdown.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
@@ -126,25 +149,47 @@ fn tcp_session(service: &Arc<Service>, stream: TcpStream) {
         return;
     };
 
-    // Bytes, not `read_line`: on a timeout error `read_until` keeps every
-    // byte it already consumed in `buf` (read_line would discard a prefix
-    // that ends mid-way through a multi-byte UTF-8 character), so a
-    // request split across packets survives any number of retries intact.
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => break, // client closed the connection
-            Ok(_) => {
-                let line = String::from_utf8_lossy(&buf);
-                let go = driver.handle_line(line.trim_end_matches(['\r', '\n']));
-                buf.clear();
-                if !go {
-                    break;
+    // Raw reads into the unit scanner: a request split across packets (or
+    // across read timeouts) stays buffered until its terminator — or its
+    // declared frame length — arrives, whatever the codec.
+    let mut scanner = UnitScanner::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'session: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Client closed the connection. A final request without
+                // its `\n` terminator is still a request — process the
+                // buffered remainder instead of silently dropping it.
+                if let Some(tail) = scanner.take_eof_remainder() {
+                    driver.handle_unit(UnitKind::Line, &tail);
+                }
+                break;
+            }
+            Ok(n) => {
+                scanner.push(&chunk[..n]);
+                loop {
+                    match scanner.next_unit() {
+                        Ok(Some((kind, range))) => {
+                            let go = driver.handle_unit(kind, scanner.bytes(&range));
+                            if let Some(codec) = driver.take_codec_switch() {
+                                scanner.set_codec(codec);
+                            }
+                            if !go {
+                                break 'session;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Unresynchronisable framing violation: answer
+                            // with a typed error, then end the session.
+                            driver.protocol_error(&e.message);
+                            break 'session;
+                        }
+                    }
                 }
             }
-            // A timeout leaves the partial line in `buf` and we simply
-            // retry; the next successful read appends the rest.
+            // A timeout leaves any partial unit in the scanner and we
+            // simply retry; the next successful read appends the rest.
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if service.is_shutting_down() {
                     break;
