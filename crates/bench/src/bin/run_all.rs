@@ -14,7 +14,17 @@ use mg_bench::{
 };
 use std::time::Instant;
 
+/// One progress event on stderr (structured, level info, silenced by
+/// `MGPART_LOG=error`).
+fn progress(step: &str, detail: &str) {
+    mg_obs::log::info(
+        "experiment_step",
+        &[("step", step.into()), ("detail", detail.into())],
+    );
+}
+
 fn main() {
+    mg_obs::log::init_from_env();
     let opts = CliOptions::parse();
     let t0 = Instant::now();
     let mut summary = String::from("# Experiment summary (run_all)\n\n");
@@ -24,7 +34,7 @@ fn main() {
     ));
 
     // --- Fig 3 ---
-    eprintln!("[1/5] fig3 (gd97_b twin, 100 runs/method)...");
+    progress("1/5", "fig3 (gd97_b twin, 100 runs/method)");
     let fig3 = render_fig3(&fig3_gd97b(100), 100);
     println!("{fig3}");
     write_artifact("fig3_gd97b.txt", &fig3);
@@ -35,7 +45,7 @@ fn main() {
     // --- Figs 4, 5 and Table I share the Mondriaan-like sweep, run once
     // through the batch engine so the JSONL stream and the figures come
     // from the same records. ---
-    eprintln!("[2/5] Mondriaan-like batched sweep (figs 4, 5, table I)...");
+    progress("2/5", "Mondriaan-like batched sweep (figs 4, 5, table I)");
     let batch_config = {
         let mut c = BatchSweepConfig::paper(opts.collection(), "mondriaan", opts.runs);
         c.threads = opts.threads;
@@ -71,7 +81,7 @@ fn main() {
     summary.push_str(&format!("## Table I\n\n```\n{t1v}\n{t1t}```\n\n"));
 
     // --- Fig 6a: PaToH-like p = 2. ---
-    eprintln!("[3/5] PaToH-like sweep (fig 6a)...");
+    progress("3/5", "PaToH-like sweep (fig 6a)");
     let patoh_records = patoh_sweep(opts.collection(), opts.runs, opts.threads);
     write_artifact("fig6_records_p2.csv", &records_to_csv(&patoh_records));
     let fig6a = &fig4_profiles(&patoh_records)[0].1;
@@ -81,10 +91,10 @@ fn main() {
     summary.push_str("```\n\n");
 
     // --- Fig 6b / Table II: p-way sweeps. ---
-    eprintln!("[4/5] PaToH-like p = 2 multiway sweep (table II)...");
+    progress("4/5", "PaToH-like p = 2 multiway sweep (table II)");
     let p2 = patoh_multiway_sweep(opts.collection(), opts.runs, opts.threads, 2);
     write_artifact("table2_records_p2.csv", &multiway_to_csv(&p2));
-    eprintln!("[5/5] PaToH-like p = 64 multiway sweep (fig 6b, table II)...");
+    progress("5/5", "PaToH-like p = 64 multiway sweep (fig 6b, table II)");
     let p64 = patoh_multiway_sweep(opts.collection(), 1, opts.threads, 64);
     write_artifact("table2_records_p64.csv", &multiway_to_csv(&p64));
     let fig6b = multiway_volume_profile(&p64);
@@ -102,9 +112,11 @@ fn main() {
         t0.elapsed().as_secs_f64()
     ));
     let path = write_artifact("summary.md", &summary);
-    eprintln!(
-        "done in {:.1}s; summary: {}",
-        t0.elapsed().as_secs_f64(),
-        path.display()
+    mg_obs::log::info(
+        "experiments_done",
+        &[
+            ("seconds", t0.elapsed().as_secs_f64().into()),
+            ("summary", path.display().to_string().into()),
+        ],
     );
 }

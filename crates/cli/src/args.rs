@@ -47,6 +47,11 @@ const VALUE_FLAGS: &[&str] = &[
     // bench (the wire-path benchmark harness):
     "--requests",
     "--validate",
+    // observability (serve / route / metrics):
+    "--metrics-addr",
+    "--log-level",
+    "--schema",
+    "--input",
 ];
 
 impl Parsed {

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const SCHEMA: &str = "mgpart-bench/v1";
-const TRAJECTORY: u64 = 7;
+const TRAJECTORY: u64 = 8;
 const HELLO_BINARY: &str = "{\"id\":\"bench\",\"op\":\"hello\",\"codec\":\"binary\"}";
 
 /// The workloads every codec is measured on. `inline` is fresh compute
@@ -82,6 +82,13 @@ pub fn bench(parsed: &Parsed) -> Result<(), String> {
         return Err("--requests must be at least 1".into());
     }
 
+    // Snapshot the per-phase timing histograms (paper Fig. 5) so the
+    // document reports the compute breakdown of exactly this run.
+    let phase_before: Vec<(u64, f64)> = mg_obs::PHASES
+        .iter()
+        .map(|p| mg_obs::phase_stats(p))
+        .collect();
+
     let mut rows: Vec<Row> = Vec::new();
     for &workload in PIPE_WORKLOADS {
         let lines = workload_lines(workload, &config);
@@ -106,11 +113,15 @@ pub fn bench(parsed: &Parsed) -> Result<(), String> {
         rows.push(routed_run(&config, codec, &lines));
     }
 
-    let document = render_document(&config, &rows);
+    let phases = phases_json(&phase_before);
+    let document = render_document(&config, &rows, phases);
     if let Some(path) = parsed.flag_opt("-o") {
         std::fs::write(&path, format!("{document}\n"))
             .map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("{path}: {} bench rows", rows.len());
+        mg_obs::log::info(
+            "bench_written",
+            &[("path", path.as_str().into()), ("rows", rows.len().into())],
+        );
     } else if parsed.has("--json") {
         println!("{document}");
     } else {
@@ -449,7 +460,28 @@ fn comparisons_json(rows: &[Row]) -> Vec<Json> {
     comparisons
 }
 
-fn render_document(config: &BenchConfig, rows: &[Row]) -> String {
+/// The per-phase compute breakdown of this run: deltas of the global
+/// `mgpart_phase_seconds` histograms (paper Fig. 5) against a snapshot
+/// taken before the first measured cell.
+fn phases_json(before: &[(u64, f64)]) -> Vec<Json> {
+    mg_obs::PHASES
+        .iter()
+        .zip(before)
+        .map(|(phase, (count_before, seconds_before))| {
+            let (count_now, seconds_now) = mg_obs::phase_stats(phase);
+            let count = count_now.saturating_sub(*count_before);
+            let seconds = (seconds_now - seconds_before).max(0.0);
+            obj(vec![
+                ("phase", Json::Str((*phase).into())),
+                ("count", Json::UInt(count)),
+                ("seconds", Json::Num(seconds)),
+                ("mean_seconds", Json::Num(seconds / count.max(1) as f64)),
+            ])
+        })
+        .collect()
+}
+
+fn render_document(config: &BenchConfig, rows: &[Row], phases: Vec<Json>) -> String {
     obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         ("trajectory", Json::UInt(TRAJECTORY)),
@@ -462,6 +494,7 @@ fn render_document(config: &BenchConfig, rows: &[Row]) -> String {
             ]),
         ),
         ("results", Json::Arr(rows.iter().map(row_json).collect())),
+        ("phases", Json::Arr(phases)),
         ("comparisons", Json::Arr(comparisons_json(rows))),
     ])
     .to_string()
@@ -579,6 +612,34 @@ fn validate_document(document: &Json) -> Result<(), String> {
         }
     }
 
+    // The per-phase compute breakdown: all four multilevel phases (paper
+    // Fig. 5) must have been observed during the run.
+    let phases = field(document, "phases")?
+        .as_array()
+        .ok_or("phases must be an array")?;
+    for required in mg_obs::PHASES {
+        let entry = phases
+            .iter()
+            .find(|p| p.get("phase").and_then(Json::as_str) == Some(required))
+            .ok_or_else(|| format!("missing phase entry {required:?}"))?;
+        let count = field(entry, "count")?
+            .as_u64()
+            .ok_or_else(|| format!("phase {required:?}: count must be an unsigned integer"))?;
+        if count == 0 {
+            return Err(format!("phase {required:?} recorded no observations"));
+        }
+        for name in ["seconds", "mean_seconds"] {
+            let value = field(entry, name)?
+                .as_f64()
+                .ok_or_else(|| format!("phase {required:?}: {name} must be a number"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "phase {required:?}: {name} must be non-negative, got {value}"
+                ));
+            }
+        }
+    }
+
     // The trajectory gates, from the comparisons block.
     let comparisons = field(document, "comparisons")?
         .as_array()
@@ -686,4 +747,40 @@ fn conformance() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_of_one_element_is_that_element() {
+        assert_eq!(percentile(&[7.5], 0.50), 7.5);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_of_empty_input_is_zero() {
+        assert_eq!(percentile(&[], 0.50), 0.0);
+    }
+
+    #[test]
+    fn percentile_hits_exact_rank_boundaries() {
+        // 1..=100: nearest-rank on (len-1)*q.
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        // (100-1)*0.50 = 49.5 → rounds to index 50 → value 51.
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        // (100-1)*0.99 = 98.01 → index 98 → value 99.
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_is_clamped_to_the_last_element() {
+        let sorted = [1.0, 2.0];
+        assert_eq!(percentile(&sorted, 2.0), 2.0);
+    }
 }

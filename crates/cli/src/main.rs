@@ -49,7 +49,14 @@ USAGE:
   mgpart route     --shards LIST [options]  sharding front end over mg-server shards
   mgpart request   [ADDR] [options]         build / send one service request
   mgpart bench     [options]                wire-path benchmark (BENCH trajectory)
+  mgpart metrics   <ADDR> [--schema FILE]   scrape a --metrics-addr endpoint
   mgpart help
+
+GLOBAL OPTIONS:
+  --log-level L   error | warn | info | debug | trace  (default info; the
+                  MGPART_LOG environment variable sets the same thing).
+                  Diagnostics are structured JSON lines on stderr; stdout
+                  carries only protocol responses and command output.
 
 PARTITION OPTIONS:
   -p N          number of parts (default 2; >2 uses recursive bisection)
@@ -96,6 +103,9 @@ SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
   --timing      append non-deterministic time_ms to computed responses
   --shard-id ID diagnostic shard tag added to stats/error responses
                 (for shards behind mgpart route; omit to stay untagged)
+  --metrics-addr HOST:PORT   serve a Prometheus-style text snapshot of the
+                metrics registry on a side TCP port (out-of-band: never
+                touches the protocol stream; scrape with `mgpart metrics`)
 
 ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
   --shards LIST comma-separated shard specs [id=]host:port[*capacity];
@@ -118,6 +128,9 @@ ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
   --read-deadline S   seconds a forwarded request may stay unanswered
                       before its replica is declared dead and the request
                       fails over (default: wait forever)
+  --metrics-addr HOST:PORT   same side-channel metrics endpoint as serve,
+                      with the router families (dispatches, failovers,
+                      probe transitions, replica liveness) always exposed
 
 REQUEST OPTIONS:
   ADDR          server address; omit with --print to just emit the JSON line
@@ -152,6 +165,13 @@ BENCH OPTIONS (schema: mgpart-bench/v1; trajectory files: BENCH_<n>.json):
   --conformance run one mixed stream through both codecs at 1/2/4 worker
                 threads and require byte-identical response texts
 
+METRICS OPTIONS (schema: crates/obs/metrics.schema):
+  ADDR          a --metrics-addr endpoint to scrape; the snapshot is
+                printed to stdout
+  --input FILE  validate a saved exposition snapshot instead of scraping
+  --schema FILE also validate the snapshot: every family and sample must
+                match the declared names/kinds; nonzero exit on mismatch
+
 GENERATE FAMILIES:
   laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
   laplace3d [k]   7-point Laplacian on a k×k×k grid    (default k = 16)
@@ -165,13 +185,46 @@ fn main() -> ExitCode {
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("error: {message}");
+            mg_obs::log::error("fatal", &[("message", message.as_str().into())]);
             ExitCode::FAILURE
         }
     }
 }
 
+/// Applies `MGPART_LOG`, then a `--log-level` flag anywhere on the
+/// command line (the flag wins).
+fn init_logging(argv: &[String]) -> Result<(), String> {
+    mg_obs::log::init_from_env();
+    if let Some(at) = argv.iter().position(|a| a == "--log-level") {
+        let value = argv
+            .get(at + 1)
+            .ok_or("flag --log-level needs a value".to_string())?;
+        let level = mg_obs::log::parse_level(value)
+            .ok_or_else(|| format!("unknown log level {value:?} (error|warn|info|debug|trace)"))?;
+        mg_obs::log::set_level(level);
+    }
+    Ok(())
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
+    init_logging(argv)?;
+    // `--log-level` is global: legal before the subcommand too, so drop
+    // the pair before dispatch (subcommand parsers tolerate it inline).
+    let argv: Vec<String> = {
+        let mut kept = Vec::with_capacity(argv.len());
+        let mut skip = false;
+        for arg in argv {
+            if skip {
+                skip = false;
+            } else if arg == "--log-level" {
+                skip = true;
+            } else {
+                kept.push(arg.clone());
+            }
+        }
+        kept
+    };
+    let argv = &argv[..];
     let Some(command) = argv.first() else {
         print!("{USAGE}");
         return Ok(());
@@ -187,6 +240,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "route" => route(&Parsed::parse(&argv[1..])?),
         "request" => request(&Parsed::parse(&argv[1..])?),
         "bench" => bench::bench(&Parsed::parse(&argv[1..])?),
+        "metrics" => metrics(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -411,18 +465,72 @@ fn sweep(parsed: &Parsed) -> Result<(), String> {
     match parsed.flag_opt("-o") {
         Some(path) => {
             std::fs::write(&path, &out).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!(
-                "{path}: {} cells ({} matrices) in {:.1}s",
-                records.len(),
-                records
-                    .iter()
-                    .map(|r| &r.matrix)
-                    .collect::<std::collections::HashSet<_>>()
-                    .len(),
-                start.elapsed().as_secs_f64()
+            mg_obs::log::info(
+                "sweep_done",
+                &[
+                    ("path", path.as_str().into()),
+                    ("cells", records.len().into()),
+                    (
+                        "matrices",
+                        records
+                            .iter()
+                            .map(|r| &r.matrix)
+                            .collect::<std::collections::HashSet<_>>()
+                            .len()
+                            .into(),
+                    ),
+                    ("seconds", start.elapsed().as_secs_f64().into()),
+                ],
             );
         }
         None => print!("{out}"),
+    }
+    Ok(())
+}
+
+/// Binds the out-of-band `--metrics-addr` exposition endpoint if asked.
+/// The returned handle keeps the endpoint alive until it drops.
+fn metrics_endpoint(parsed: &Parsed) -> Result<Option<mg_obs::MetricsServer>, String> {
+    let Some(addr) = parsed.flag_opt("--metrics-addr") else {
+        return Ok(None);
+    };
+    let server = mg_obs::MetricsServer::bind(&addr)
+        .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+    mg_obs::log::info(
+        "metrics_listening",
+        &[("addr", server.local_addr.to_string().into())],
+    );
+    Ok(Some(server))
+}
+
+fn metrics(parsed: &Parsed) -> Result<(), String> {
+    let from_file = parsed.flag_opt("--input");
+    let text = match &from_file {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => {
+            let addr = parsed.positional(0, "metrics address (HOST:PORT), or --input FILE")?;
+            mg_obs::scrape(addr).map_err(|e| format!("scraping {addr}: {e}"))?
+        }
+    };
+    if let Some(schema_path) = parsed.flag_opt("--schema") {
+        let schema_text = std::fs::read_to_string(&schema_path)
+            .map_err(|e| format!("reading {schema_path}: {e}"))?;
+        let schema =
+            mg_obs::parse_schema(&schema_text).map_err(|e| format!("schema {schema_path}: {e}"))?;
+        let samples = mg_obs::validate_exposition(&text, &schema)
+            .map_err(|e| format!("exposition does not match {schema_path}: {e}"))?;
+        mg_obs::log::info(
+            "metrics_validated",
+            &[
+                ("samples", samples.into()),
+                ("schema", schema_path.as_str().into()),
+            ],
+        );
+    }
+    // A scrape prints the snapshot; --input only validates (the caller
+    // already has the file).
+    if from_file.is_none() {
+        print!("{text}");
     }
     Ok(())
 }
@@ -442,23 +550,34 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
         timing: parsed.has("--timing"),
         shard_id: parsed.flag_opt("--shard-id"),
     };
+    // Bound before the protocol transport and held to the end of the
+    // run: scrapes work from the first request to the post-drain state.
+    let _metrics = metrics_endpoint(parsed)?;
     let service = Service::start(config);
     match parsed.flag_opt("--listen") {
         Some(addr) => {
             let server =
                 TcpServer::bind(service, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
-            eprintln!("mg-server listening on {}", server.local_addr);
+            mg_obs::log::info(
+                "server_listening",
+                &[("addr", server.local_addr.to_string().into())],
+            );
             // Blocks until a client sends the in-band shutdown op, then
             // drains every in-flight job before returning.
             server.join();
-            eprintln!("mg-server drained and stopped");
+            mg_obs::log::info("server_stopped", &[("drained", true.into())]);
         }
         None => {
             let summary = serve_stdio(&service);
             service.shutdown_and_join();
-            eprintln!(
-                "session done: {} requests, {} responses, {} cache hits, {} errors",
-                summary.received, summary.responses, summary.cache_hits, summary.errors
+            mg_obs::log::info(
+                "session_done",
+                &[
+                    ("requests", summary.received.into()),
+                    ("responses", summary.responses.into()),
+                    ("cache_hits", summary.cache_hits.into()),
+                    ("errors", summary.errors.into()),
+                ],
             );
         }
     }
@@ -497,6 +616,7 @@ fn route(parsed: &Parsed) -> Result<(), String> {
         ..RouterConfig::default()
     };
     let shard_count = topology.len();
+    let _metrics = metrics_endpoint(parsed)?;
     let router = Router::new(topology, config)?;
     // Startup barrier: a mistyped shard address fails here, not on the
     // first request.
@@ -505,23 +625,27 @@ fn route(parsed: &Parsed) -> Result<(), String> {
         Some(addr) => {
             let server = RouterTcpServer::bind(std::sync::Arc::new(router), &addr)
                 .map_err(|e| format!("binding {addr}: {e}"))?;
-            eprintln!(
-                "mg-router listening on {} over {shard_count} shard(s)",
-                server.local_addr
+            mg_obs::log::info(
+                "router_listening",
+                &[
+                    ("addr", server.local_addr.to_string().into()),
+                    ("shards", shard_count.into()),
+                ],
             );
             server.join();
-            eprintln!("mg-router stopped");
+            mg_obs::log::info("router_stopped", &[]);
         }
         None => {
             let summary = mg_router::serve_stdio(&router);
-            eprintln!(
-                "session done: {} requests, {} responses, {} forwarded, \
-                 {} cache hits, {} errors",
-                summary.received,
-                summary.responses,
-                summary.forwarded,
-                summary.cache_hits,
-                summary.errors
+            mg_obs::log::info(
+                "session_done",
+                &[
+                    ("requests", summary.received.into()),
+                    ("responses", summary.responses.into()),
+                    ("forwarded", summary.forwarded.into()),
+                    ("cache_hits", summary.cache_hits.into()),
+                    ("errors", summary.errors.into()),
+                ],
             );
         }
     }

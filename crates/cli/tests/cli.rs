@@ -121,7 +121,11 @@ fn request_against_a_dead_endpoint_exits_nonzero_with_a_typed_error() {
         "stdout carries the typed error line: {body}"
     );
     assert!(line.contains(&addr), "the address is named: {line}");
-    assert!(stderr(&out).contains("error:"), "stderr still explains");
+    let err = stderr(&out);
+    assert!(
+        err.contains("\"level\":\"error\"") && err.contains("\"event\":\"fatal\""),
+        "stderr still explains, as a structured event: {err}"
+    );
 }
 
 #[test]
@@ -224,6 +228,27 @@ fn request_print_emits_shard_addressed_stats_lines() {
     assert_eq!(stdout(&out).trim(), r#"{"op":"stats","shard":"s1"}"#);
     let bad = mgpart(&["request", "--op", "ping", "--shard", "s1", "--print"]);
     assert!(!bad.status.success(), "--shard is stats-only");
+}
+
+#[test]
+fn log_level_flag_is_global_and_typo_checked() {
+    // Legal before or after the subcommand.
+    for args in [
+        ["--log-level", "debug", "backends"],
+        ["backends", "--log-level", "debug"],
+    ] {
+        let out = mgpart(&args);
+        assert!(out.status.success(), "{args:?} stderr: {}", stderr(&out));
+        assert!(stdout(&out).contains("mondriaan"), "{args:?} still runs");
+    }
+    // An unknown level is a fatal structured error, nonzero exit.
+    let out = mgpart(&["--log-level", "nonsense", "backends"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown log level") && err.contains("\"event\":\"fatal\""),
+        "stderr: {err}"
+    );
 }
 
 #[test]

@@ -38,7 +38,9 @@ pub fn medium_grain_bipartition_with_targets<R: Rng>(
             NonzeroPartition::new(2, Vec::new()).expect("empty partition"),
         );
     }
+    let build_timer = mg_obs::phase("medium_grain_build");
     let split = initial_split(a, rng);
+    drop(build_timer);
     medium_grain_bipartition_with_split(a, &split, targets, config, rng)
 }
 
@@ -58,7 +60,9 @@ pub fn medium_grain_bipartition_with_split<R: Rng>(
             NonzeroPartition::new(2, Vec::new()).expect("empty partition"),
         );
     }
+    let build_timer = mg_obs::phase("medium_grain_build");
     let model = MediumGrainModel::build(a, split);
+    drop(build_timer);
     debug_assert_eq!(model.hypergraph.total_vertex_weight(), a.nnz() as u64);
     let outcome = bipartition_hypergraph(&model.hypergraph, targets, config, rng);
     let partition = model.to_nonzero_partition(a, &outcome.sides);

@@ -1,0 +1,269 @@
+//! The out-of-band exposition endpoint: a tiny HTTP/1.0 server that
+//! answers every request with a Prometheus-style text snapshot of the
+//! global registry, the matching [`scrape`] client, and a schema
+//! validator for CI (`mgpart metrics ADDR --schema FILE`).
+//!
+//! The endpoint is strictly out-of-band: it binds its own port and never
+//! touches the protocol's stdout stream, so enabling it cannot perturb
+//! golden responses.
+
+use crate::metrics::registry;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint (`--metrics-addr HOST:PORT`).
+pub struct MetricsServer {
+    /// The bound address (useful with port 0).
+    pub local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts answering scrapes with snapshots of the
+    /// global registry. The endpoint runs until the handle drops.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("mg-obs-metrics".into())
+            .spawn(move || serve_loop(&listener, &stop))?;
+        Ok(MetricsServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, shutdown: &Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = answer(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads (and discards) the request head, then writes one snapshot.
+/// Any HTTP request — or none at all, from a bare `nc` — gets the same
+/// answer; the endpoint has exactly one resource.
+fn answer(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body = registry().render();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrapes `addr` and returns the exposition body (headers stripped).
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: mgpart\r\n\r\n")?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_headers, body)) => body,
+        None => text.as_str(),
+    };
+    Ok(body.to_string())
+}
+
+/// Parses a metrics schema file: one `name kind` pair per line, `#`
+/// comments and blank lines ignored. Kinds are `counter`, `gauge`,
+/// `histogram`.
+pub fn parse_schema(text: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut schema = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("schema line {}: want `name kind`", lineno + 1));
+        };
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            return Err(format!("schema line {}: unknown kind {kind}", lineno + 1));
+        }
+        schema.insert(name.to_string(), kind.to_string());
+    }
+    Ok(schema)
+}
+
+/// Resolves a sample name to its family: histograms expose `_bucket`,
+/// `_sum` and `_count` series.
+fn family_of<'a>(name: &'a str, schema: &BTreeMap<String, String>) -> Option<&'a str> {
+    if schema.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if schema.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Validates a scraped exposition body against a schema: every `# TYPE`
+/// declaration and every sample must belong to a declared family with
+/// the declared kind, and every sample value must parse as a float.
+/// Returns the number of samples seen.
+pub fn validate_exposition(text: &str, schema: &BTreeMap<String, String>) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return fail("malformed # TYPE".to_string());
+                };
+                match schema.get(name) {
+                    None => return fail(format!("undeclared metric family {name}")),
+                    Some(expected) if expected != kind => {
+                        return fail(format!("{name} declared {kind}, schema says {expected}"))
+                    }
+                    Some(_) => {}
+                }
+            }
+            continue; // other comments are legal
+        }
+        // Sample: `name value` or `name{labels} value`.
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return fail("sample without value".to_string()),
+        };
+        if value.parse::<f64>().is_err() {
+            return fail(format!("unparsable value {value}"));
+        }
+        let name = match series.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return fail(format!("unterminated labels on {series}"));
+                }
+                name
+            }
+            None => series,
+        };
+        if family_of(name, schema).is_none() {
+            return fail(format!("sample for undeclared metric {name}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn schema() -> BTreeMap<String, String> {
+        parse_schema(
+            "# test schema\n\
+             t_x_total counter\n\
+             t_y_live gauge\n\
+             t_z_seconds histogram\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rendered_registry_validates_against_schema() {
+        let r = Registry::new();
+        r.counter("t_x_total", &[("op", "ping")]).inc();
+        r.gauge("t_y_live", &[]).set(2);
+        r.histogram("t_z_seconds", &[], &[0.01, 1.0]).observe(0.5);
+        let text = r.render();
+        let n = validate_exposition(&text, &schema()).unwrap();
+        // 1 counter + 1 gauge + (3 buckets + sum + count) = 7 samples.
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn undeclared_family_is_rejected() {
+        let err = validate_exposition("t_rogue_total 3\n", &schema()).unwrap_err();
+        assert!(err.contains("t_rogue_total"), "{err}");
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let err = validate_exposition("# TYPE t_x_total gauge\n", &schema()).unwrap_err();
+        assert!(err.contains("schema says counter"), "{err}");
+    }
+
+    #[test]
+    fn bad_value_is_rejected() {
+        let err = validate_exposition("t_x_total many\n", &schema()).unwrap_err();
+        assert!(err.contains("unparsable"), "{err}");
+    }
+
+    #[test]
+    fn endpoint_serves_global_registry_over_tcp() {
+        registry().counter("t_expose_roundtrip_total", &[]).add(9);
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let body = scrape(&server.local_addr.to_string()).unwrap();
+        assert!(
+            body.contains("t_expose_roundtrip_total 9"),
+            "scrape body: {body}"
+        );
+        drop(server); // joins the accept thread
+    }
+}

@@ -1,0 +1,420 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles wrap `Arc<AtomicU64>` cells, so the hot path is a relaxed
+//! atomic op; the registry's mutex is taken only when a metric is first
+//! registered (or re-looked-up) and when the whole registry is rendered.
+//! Names are `snake_case`; labels are `(key, value)` pairs rendered in
+//! the order given (`backend=`, `shard=`, `phase=`, ...).
+
+use std::collections::btree_map::Entry as MapEntry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: goes up and down, never below zero.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared cells of one histogram: per-bucket counts plus running
+/// sum/count. Buckets use Prometheus `le` semantics — a value lands in
+/// the first bucket whose upper bound it does not exceed; the final
+/// implicit `+Inf` bucket catches overflow.
+struct HistogramCells {
+    /// Ascending upper bounds, in the observed unit (seconds here).
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` cells; the last one is the `+Inf` overflow.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations in microseconds (fits u64 for ~584k years).
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (values in seconds).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let cells = &self.0;
+        let idx = cells
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(cells.bounds.len());
+        cells.counts[idx].fetch_add(1, Ordering::Relaxed);
+        cells
+            .sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Count in the bucket whose upper bound is `bounds[idx]`, or the
+    /// `+Inf` overflow bucket for `idx == bounds.len()`.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.0.counts[idx].load(Ordering::Relaxed)
+    }
+}
+
+enum Data {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+impl Data {
+    fn kind(&self) -> &'static str {
+        match self {
+            Data::Counter(_) => "counter",
+            Data::Gauge(_) => "gauge",
+            Data::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    /// Rendered label pairs without braces: `shard="s0",op="ping"`.
+    labels: String,
+    data: Data,
+}
+
+/// A set of named metrics; usually the process-global [`registry()`].
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`registry()`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gets or registers the counter `name{labels}`.
+    ///
+    /// Panics if the same series was registered as a different kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let rendered = render_labels(labels);
+        let key = format!("{name}{{{rendered}}}");
+        match self.lock().entry(key) {
+            MapEntry::Occupied(o) => match &o.get().data {
+                Data::Counter(c) => Counter(c.clone()),
+                other => panic!("metric {name} is a {}, not a counter", other.kind()),
+            },
+            MapEntry::Vacant(v) => {
+                let cell = Arc::new(AtomicU64::new(0));
+                v.insert(Entry {
+                    name: name.to_string(),
+                    labels: rendered,
+                    data: Data::Counter(cell.clone()),
+                });
+                Counter(cell)
+            }
+        }
+    }
+
+    /// Gets or registers the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let rendered = render_labels(labels);
+        let key = format!("{name}{{{rendered}}}");
+        match self.lock().entry(key) {
+            MapEntry::Occupied(o) => match &o.get().data {
+                Data::Gauge(g) => Gauge(g.clone()),
+                other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+            },
+            MapEntry::Vacant(v) => {
+                let cell = Arc::new(AtomicU64::new(0));
+                v.insert(Entry {
+                    name: name.to_string(),
+                    labels: rendered,
+                    data: Data::Gauge(cell.clone()),
+                });
+                Gauge(cell)
+            }
+        }
+    }
+
+    /// Gets or registers the histogram `name{labels}` with the given
+    /// ascending upper bounds (seconds). Bounds are fixed at first
+    /// registration; later lookups return the existing cells.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
+        let rendered = render_labels(labels);
+        let key = format!("{name}{{{rendered}}}");
+        match self.lock().entry(key) {
+            MapEntry::Occupied(o) => match &o.get().data {
+                Data::Histogram(h) => Histogram(h.clone()),
+                other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+            },
+            MapEntry::Vacant(v) => {
+                let cells = Arc::new(HistogramCells {
+                    bounds: bounds.to_vec(),
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum_micros: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                });
+                v.insert(Entry {
+                    name: name.to_string(),
+                    labels: rendered,
+                    data: Data::Histogram(cells.clone()),
+                });
+                Histogram(cells)
+            }
+        }
+    }
+
+    /// Renders the whole registry as Prometheus text exposition format.
+    /// Output order is deterministic (sorted by series key); each family
+    /// gets one `# TYPE` line.
+    pub fn render(&self) -> String {
+        let entries = self.lock();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for entry in entries.values() {
+            if entry.name != last_family {
+                out.push_str("# TYPE ");
+                out.push_str(&entry.name);
+                out.push(' ');
+                out.push_str(entry.data.kind());
+                out.push('\n');
+                last_family.clone_from(&entry.name);
+            }
+            let series = |suffix: &str, extra: Option<String>| -> String {
+                let mut inner = entry.labels.clone();
+                if let Some(extra) = extra {
+                    if !inner.is_empty() {
+                        inner.push(',');
+                    }
+                    inner.push_str(&extra);
+                }
+                if inner.is_empty() {
+                    format!("{}{}", entry.name, suffix)
+                } else {
+                    format!("{}{}{{{}}}", entry.name, suffix, inner)
+                }
+            };
+            match &entry.data {
+                Data::Counter(c) => {
+                    let v = c.load(Ordering::Relaxed);
+                    out.push_str(&format!("{} {v}\n", series("", None)));
+                }
+                Data::Gauge(g) => {
+                    let v = g.load(Ordering::Relaxed);
+                    out.push_str(&format!("{} {v}\n", series("", None)));
+                }
+                Data::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.counts[i].load(Ordering::Relaxed);
+                        let le = Some(format!("le=\"{bound}\""));
+                        out.push_str(&format!("{} {cumulative}\n", series("_bucket", le)));
+                    }
+                    cumulative += h.counts[h.bounds.len()].load(Ordering::Relaxed);
+                    let le = Some("le=\"+Inf\"".to_string());
+                    out.push_str(&format!("{} {cumulative}\n", series("_bucket", le)));
+                    let sum = h.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+                    out.push_str(&format!("{} {sum:.6}\n", series("_sum", None)));
+                    let count = h.count.load(Ordering::Relaxed);
+                    out.push_str(&format!("{} {count}\n", series("_count", None)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-global registry every layer records into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("t_requests_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("t_sessions_live", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, no underflow
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter("t_dispatch_total", &[("shard", "s0")]);
+        let b = r.counter("t_dispatch_total", &[("shard", "s1")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+        // Re-lookup returns the same cell.
+        assert_eq!(r.counter("t_dispatch_total", &[("shard", "s0")]).get(), 2);
+    }
+
+    #[test]
+    fn histogram_boundary_value_lands_in_its_bucket() {
+        // `le` semantics: a value exactly on a bucket's upper bound
+        // belongs to that bucket, not the next one up.
+        let r = Registry::new();
+        let h = r.histogram("t_lat_seconds", &[], &[0.001, 0.01, 0.1]);
+        h.observe(0.001); // exactly on the first bound
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 0);
+        h.observe(0.0100001); // just past the second bound
+        assert_eq!(h.bucket_count(1), 0);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_catches_large_values() {
+        let r = Registry::new();
+        let h = r.histogram("t_big_seconds", &[], &[0.001, 0.01]);
+        h.observe(5.0);
+        h.observe(1e9);
+        assert_eq!(h.bucket_count(2), 2); // bounds.len() == overflow index
+        assert_eq!(h.bucket_count(0), 0);
+        assert_eq!(h.count(), 2);
+        assert!(h.sum_seconds() > 1e8);
+    }
+
+    #[test]
+    fn histogram_rejects_nonfinite_and_negative() {
+        let r = Registry::new();
+        let h = r.histogram("t_odd_seconds", &[], &[1.0]);
+        h.observe(f64::NAN);
+        h.observe(-3.0);
+        // Both clamp to 0.0 and land in the first bucket.
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.sum_seconds(), 0.0);
+    }
+
+    #[test]
+    fn render_is_deterministic_prometheus_text() {
+        let r = Registry::new();
+        r.counter("t_b_total", &[("shard", "s1")]).add(3);
+        r.counter("t_b_total", &[("shard", "s0")]).add(2);
+        r.gauge("t_a_live", &[]).set(1);
+        let h = r.histogram("t_c_seconds", &[("phase", "fm")], &[0.01, 1.0]);
+        h.observe(0.005);
+        h.observe(0.5);
+        let text = r.render();
+        let expected = "# TYPE t_a_live gauge\n\
+                        t_a_live 1\n\
+                        # TYPE t_b_total counter\n\
+                        t_b_total{shard=\"s0\"} 2\n\
+                        t_b_total{shard=\"s1\"} 3\n\
+                        # TYPE t_c_seconds histogram\n\
+                        t_c_seconds_bucket{phase=\"fm\",le=\"0.01\"} 1\n\
+                        t_c_seconds_bucket{phase=\"fm\",le=\"1\"} 2\n\
+                        t_c_seconds_bucket{phase=\"fm\",le=\"+Inf\"} 2\n\
+                        t_c_seconds_sum{phase=\"fm\"} 0.505000\n\
+                        t_c_seconds_count{phase=\"fm\"} 2\n";
+        assert_eq!(text, expected);
+        assert_eq!(text, r.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("t_kind_clash", &[]);
+        r.gauge("t_kind_clash", &[]);
+    }
+}

@@ -68,6 +68,7 @@ pub fn bipartition_hypergraph<R: Rng>(
     };
 
     // --- Coarsening phase: build the hierarchy. ---
+    let coarsen_timer = mg_obs::phase("coarsening");
     let mut graphs: Vec<Hypergraph> = Vec::new();
     let mut maps: Vec<Vec<Idx>> = Vec::new();
     loop {
@@ -87,12 +88,17 @@ pub fn bipartition_hypergraph<R: Rng>(
         graphs.push(level.coarse);
     }
 
+    drop(coarsen_timer);
+
     // --- Initial partition at the coarsest level. ---
+    let initial_timer = mg_obs::phase("initial_partition");
     let coarsest = graphs.last().unwrap_or(h);
     let bp = initial_partition(coarsest, targets, config, rng);
     let mut sides = bp.into_sides();
+    drop(initial_timer);
 
     // --- Uncoarsening: project up and refine at every level. ---
+    let refine_timer = mg_obs::phase("fm_refinement");
     for level in (0..maps.len()).rev() {
         sides = project_sides(&maps[level], &sides);
         let finer: &Hypergraph = if level == 0 { h } else { &graphs[level - 1] };
@@ -106,6 +112,7 @@ pub fn bipartition_hypergraph<R: Rng>(
         fm_refine(h, &mut bp, &limits);
         sides = bp.into_sides();
     }
+    drop(refine_timer);
 
     // --- Optional restricted V-cycles. ---
     for _ in 0..config.vcycles {

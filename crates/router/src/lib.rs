@@ -52,6 +52,7 @@
 pub mod cache;
 pub mod config;
 pub mod harness;
+mod metrics;
 pub mod placement;
 pub mod router;
 pub mod transport;

@@ -46,6 +46,9 @@
 
 use crate::cache::{cached_true_of, with_id, RouterKey};
 use crate::config::Topology;
+use crate::metrics::{
+    dispatch_counter, health_transition, router_metrics, set_replicas, set_shard_alive,
+};
 use crate::placement::place_replicas;
 use mg_core::service::{placement_key, ErrorCode, RequestOp};
 use mg_core::{parse_backend, DEFAULT_BACKEND};
@@ -156,6 +159,10 @@ pub(crate) struct RouterCore {
     health: Vec<AtomicBool>,
     /// Total requests replayed onto a lower-ranked replica.
     failovers: AtomicU64,
+    /// Open sessions on this router. The `stats` op samples it at decode
+    /// time, so its value is deterministic per session script: a session
+    /// always counts at least itself.
+    sessions: AtomicU64,
     shutdown: AtomicBool,
     /// Guards the one-shot forwarding of `shutdown` to every shard.
     teardown_done: Mutex<bool>,
@@ -208,11 +215,21 @@ impl Router {
             pools,
             health,
             failovers: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             teardown_done: Mutex::new(false),
             topology,
             config,
         });
+        // Register the router's metric families eagerly: the exposition
+        // endpoint reports failover/replica/liveness diagnostics from
+        // startup, unconditionally — unlike the deterministic `stats`
+        // line, which only mentions replicas once something is dead.
+        let _ = router_metrics();
+        set_replicas(core.config.replicas);
+        for shard in core.topology.shards() {
+            set_shard_alive(&shard.id, true);
+        }
         let prober = if spawn_prober {
             let stop = Arc::new((Mutex::new(false), Condvar::new()));
             let handle = std::thread::Builder::new()
@@ -389,7 +406,21 @@ impl RouterCore {
     }
 
     fn mark_alive(&self, shard: usize, alive: bool) {
-        self.health[shard].store(alive, Ordering::SeqCst);
+        let was = self.health[shard].swap(alive, Ordering::SeqCst);
+        if was != alive {
+            let id = &self.topology.shards()[shard].id;
+            health_transition(id, alive);
+            let level = if alive {
+                mg_obs::Level::Info
+            } else {
+                mg_obs::Level::Warn
+            };
+            mg_obs::log::event(
+                level,
+                "shard_health",
+                &[("shard", id.as_str().into()), ("alive", alive.into())],
+            );
+        }
     }
 
     /// Ids of the shards currently believed dead, in topology order.
@@ -577,6 +608,9 @@ enum RSlot {
     Stats {
         id: Json,
         received: u64,
+        /// Open sessions on the router, sampled at decode time (≥ 1:
+        /// the asking session counts itself).
+        sessions: u64,
         /// Present when the router runs replicated (`replicas > 1`):
         /// lets the writer sample replica health at delivery time, after
         /// every earlier response (and thus every failover that produced
@@ -602,6 +636,12 @@ struct RouterSlots {
 pub(crate) struct RouterShared {
     state: Mutex<RouterSlots>,
     ready: Condvar,
+    /// Forwarded-but-unresolved requests of this session. The writer
+    /// samples it when it renders a `stats` slot — by then the whole
+    /// preceding prefix has resolved, so in any script where no
+    /// partition request trails the `stats` request the value is
+    /// deterministically 0 (see `PROTOCOL.md` § Diagnostics).
+    outstanding: AtomicU64,
 }
 
 impl RouterShared {
@@ -711,7 +751,12 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                 switch = slot_switch;
                 line
             }
-            RSlot::Stats { id, received, core } => {
+            RSlot::Stats {
+                id,
+                received,
+                sessions,
+                core,
+            } => {
                 let mut fields = vec![
                     ("id", id),
                     ("status", Json::Str("ok".into())),
@@ -719,6 +764,11 @@ pub(crate) fn write_router_responses<W: Write>(shared: &RouterShared, output: &m
                     ("received", Json::UInt(received)),
                     ("cache_hits", Json::UInt(cache_hits)),
                     ("errors", Json::UInt(errors)),
+                    ("sessions", Json::UInt(sessions)),
+                    (
+                        "queue_depth",
+                        Json::UInt(shared.outstanding.load(Ordering::SeqCst)),
+                    ),
                 ];
                 // Replica diagnostics, only when something is actually
                 // dead: a healthy replicated topology reports byte-
@@ -856,10 +906,25 @@ impl SessionState {
                 self.fail_entry(entry, last_shard);
                 return;
             };
+            let from = last_shard;
             last_shard = next;
             match self.replay_entry(next, entry) {
                 Ok(()) => {
                     self.core.failovers.fetch_add(1, Ordering::SeqCst);
+                    router_metrics().failovers.inc();
+                    mg_obs::log::warn(
+                        "router_failover",
+                        &[
+                            (
+                                "from_shard",
+                                self.core.topology.shards()[from].id.as_str().into(),
+                            ),
+                            (
+                                "to_shard",
+                                self.core.topology.shards()[next].id.as_str().into(),
+                            ),
+                        ],
+                    );
                     return;
                 }
                 Err(returned) => {
@@ -918,6 +983,9 @@ impl SessionState {
             ),
             Some(&spec.id),
         );
+        // Decrement before resolving, as in `deliver_response`.
+        self.slots.outstanding.fetch_sub(1, Ordering::SeqCst);
+        router_metrics().pending.dec();
         self.slots.set_line(entry.index, line, false, true);
     }
 
@@ -938,6 +1006,9 @@ impl SessionState {
                 &format!("router worker for shard {:?} failed; request lost", spec.id),
                 Some(&spec.id),
             );
+            // Decrement before resolving, as in `deliver_response`.
+            self.slots.outstanding.fetch_sub(1, Ordering::SeqCst);
+            router_metrics().pending.dec();
             self.slots.set_line(entry.index, line, false, true);
         }
     }
@@ -1096,6 +1167,12 @@ fn deliver_response(core: &RouterCore, conn: &ConnShared, slots: &RouterShared, 
             }
         }
     }
+    // Decrement *before* resolving the slot: the writer samples
+    // `outstanding` when it renders a `stats` slot, which it can only
+    // reach after every preceding slot resolved — so decrementing first
+    // keeps the sampled value deterministic.
+    slots.outstanding.fetch_sub(1, Ordering::SeqCst);
+    router_metrics().pending.dec();
     slots.set_line(entry.index, line.to_string(), cached, error);
 }
 
@@ -1142,6 +1219,8 @@ pub(crate) struct RouterSessionDriver {
 impl RouterSessionDriver {
     fn new(core: Arc<RouterCore>) -> Self {
         let shards = core.topology.len();
+        core.sessions.fetch_add(1, Ordering::SeqCst);
+        router_metrics().sessions_live.inc();
         RouterSessionDriver {
             session: Arc::new(SessionState {
                 core,
@@ -1167,6 +1246,7 @@ impl RouterSessionDriver {
         let index = self.next_index;
         self.next_index += 1;
         self.summary.received += 1;
+        router_metrics().requests.inc();
         self.session.slots.push_pending();
         index
     }
@@ -1352,10 +1432,17 @@ impl RouterSessionDriver {
         match shard {
             None => {
                 let received = self.summary.received;
+                let sessions = self.core().sessions.load(Ordering::SeqCst);
                 let core = (self.core().config.replicas > 1).then(|| self.core().clone());
-                self.session
-                    .slots
-                    .set(index, RSlot::Stats { id, received, core });
+                self.session.slots.set(
+                    index,
+                    RSlot::Stats {
+                        id,
+                        received,
+                        sessions,
+                        core,
+                    },
+                );
             }
             Some(name) => match self.core().topology.index_of(&name) {
                 Some(shard) => self.forward(index, vec![shard], raw, None, &id),
@@ -1411,6 +1498,7 @@ impl RouterSessionDriver {
         if let Some(stored) = self.core().cache_get(&key) {
             if let Some(line) = with_id(&stored, &id) {
                 self.summary.cache_hits += 1;
+                router_metrics().cache_hits.inc();
                 self.session.slots.set_line(index, line, true, false);
                 return;
             }
@@ -1458,6 +1546,7 @@ impl RouterSessionDriver {
                         // primary is believed dead or just failed to
                         // connect, this request failed over.
                         self.core().failovers.fetch_add(1, Ordering::SeqCst);
+                        router_metrics().failovers.inc();
                     }
                     self.summary.forwarded += 1;
                     return;
@@ -1505,6 +1594,9 @@ impl RouterSessionDriver {
         let window = self.core().config.window.max(1);
         {
             let mut pending = lock_ok(&conn.pending);
+            if pending.len() >= window {
+                router_metrics().window_stalls.inc();
+            }
             while pending.len() >= window && !conn.dead.load(Ordering::SeqCst) {
                 pending = wait_ok(&conn.space, pending);
             }
@@ -1534,6 +1626,12 @@ impl RouterSessionDriver {
                 fallbacks: fallbacks.to_vec(),
                 enqueued: Instant::now(),
             });
+            self.session
+                .slots
+                .outstanding
+                .fetch_add(1, Ordering::SeqCst);
+            router_metrics().pending.inc();
+            dispatch_counter(&self.core().topology.shards()[shard].id).inc();
         }
         let mut w = &*stream;
         let write_ok =
@@ -1603,6 +1701,13 @@ impl RouterSessionDriver {
     /// themselves feed the [`write_router_responses`] return value here).
     pub(crate) fn record_responses(&mut self, written: u64) {
         self.summary.responses = written;
+    }
+}
+
+impl Drop for RouterSessionDriver {
+    fn drop(&mut self) {
+        self.session.core.sessions.fetch_sub(1, Ordering::SeqCst);
+        router_metrics().sessions_live.dec();
     }
 }
 

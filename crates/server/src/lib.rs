@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod codec;
 pub mod json;
+mod metrics;
 pub mod protocol;
 pub mod service;
 pub mod transport;

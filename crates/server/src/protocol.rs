@@ -449,8 +449,8 @@ pub fn op_response(id: &Json, op: &str) -> String {
 }
 
 /// Session counters snapshotted when a `stats` request is decoded; all
-/// four are decided at submission time in stream order, so they are a
-/// pure function of the request prefix.
+/// are decided at submission time in stream order, so they are a pure
+/// function of the request prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Request lines decoded so far (including this one).
@@ -462,6 +462,9 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Error responses so far.
     pub errors: u64,
+    /// Open sessions on the serving engine when this request was
+    /// decoded (always counts at least the asking session).
+    pub sessions: u64,
 }
 
 /// Encodes the response to a `stats` op. The snapshot counters reflect
@@ -469,12 +472,16 @@ pub struct StatsSnapshot {
 /// `completed` counts the jobs *computed* (not cache-served) per backend
 /// among the responses delivered before this line — also a pure function
 /// of the request prefix, because responses are delivered in submission
-/// order. Backends with zero completed jobs are omitted; `shard` is the
-/// serving shard's diagnostic tag, omitted when the server is untagged.
+/// order. `queue_depth` is the session's still-undelivered partition
+/// jobs at render time — deterministically 0 unless partition requests
+/// trail the stats request in flight (see PROTOCOL.md). Backends with
+/// zero completed jobs are omitted; `shard` is the serving shard's
+/// diagnostic tag, omitted when the server is untagged.
 pub fn stats_response(
     id: &Json,
     snapshot: StatsSnapshot,
     completed: &[(&'static str, u64)],
+    queue_depth: u64,
     shard: Option<&str>,
 ) -> String {
     let mut fields = vec![
@@ -485,6 +492,8 @@ pub fn stats_response(
         ("cache_hits", Json::UInt(snapshot.cache_hits)),
         ("cache_misses", Json::UInt(snapshot.cache_misses)),
         ("errors", Json::UInt(snapshot.errors)),
+        ("sessions", Json::UInt(snapshot.sessions)),
+        ("queue_depth", Json::UInt(queue_depth)),
         (
             "backends",
             Json::Obj(
@@ -746,21 +755,25 @@ mod tests {
             cache_hits: 1,
             cache_misses: 1,
             errors: 0,
+            sessions: 1,
         };
         assert_eq!(
             stats_response(
                 &Json::UInt(3),
                 snapshot,
                 &[("mondriaan", 1), ("patoh", 0)],
+                0,
                 None
             ),
             "{\"id\":3,\"status\":\"ok\",\"op\":\"stats\",\"received\":3,\"cache_hits\":1,\
-             \"cache_misses\":1,\"errors\":0,\"backends\":{\"mondriaan\":1}}"
+             \"cache_misses\":1,\"errors\":0,\"sessions\":1,\"queue_depth\":0,\
+             \"backends\":{\"mondriaan\":1}}"
         );
         assert_eq!(
-            stats_response(&Json::UInt(3), snapshot, &[], Some("s0")),
+            stats_response(&Json::UInt(3), snapshot, &[], 2, Some("s0")),
             "{\"id\":3,\"status\":\"ok\",\"op\":\"stats\",\"received\":3,\"cache_hits\":1,\
-             \"cache_misses\":1,\"errors\":0,\"backends\":{},\"shard\":\"s0\"}"
+             \"cache_misses\":1,\"errors\":0,\"sessions\":1,\"queue_depth\":2,\
+             \"backends\":{},\"shard\":\"s0\"}"
         );
         assert_eq!(
             op_response(&Json::Null, "ping"),

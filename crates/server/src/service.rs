@@ -35,6 +35,7 @@
 use crate::cache::LruCache;
 use crate::codec::{self, UnitKind, UnitScanner, WireCodec};
 use crate::json::Json;
+use crate::metrics::{bytes_in, bytes_out, op_counter, server_metrics};
 use crate::protocol;
 use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
 use mg_core::service::{matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, RequestOp};
@@ -42,6 +43,7 @@ use mg_core::{parse_backend, Method, PartitionBackend, DEFAULT_BACKEND};
 use mg_sparse::{load_imbalance, Coo};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -140,6 +142,10 @@ struct Engine {
     space: Condvar,
     /// Lazily generated collection, name → matrix.
     collection: Mutex<Option<Arc<CollectionMap>>>,
+    /// Open session drivers on this service. Sampled at decode time by
+    /// the `stats` op (deterministic for a given request prefix: a
+    /// session always sees at least itself).
+    sessions: AtomicU64,
     config: ServiceConfig,
 }
 
@@ -188,6 +194,7 @@ impl Engine {
                 matrix,
                 deliver,
             });
+            server_metrics().queue_depth.set(inner.queue.len() as u64);
             self.work.notify_all();
             return SubmitOutcome::Queued;
         }
@@ -288,7 +295,9 @@ fn dispatcher_loop(engine: &Engine) {
                 inner = engine.work.wait(inner).expect("engine mutex poisoned");
             }
             let n = inner.queue.len().min(engine.config.max_batch.max(1));
-            inner.queue.drain(..n).collect()
+            let drained: Vec<EngineJob> = inner.queue.drain(..n).collect();
+            server_metrics().queue_depth.set(inner.queue.len() as u64);
+            drained
         };
         engine.space.notify_all();
 
@@ -301,6 +310,7 @@ fn dispatcher_loop(engine: &Engine) {
         }
         let threads = worker_count(engine.config.threads).min(specs.len()).max(1);
         let specs = &specs;
+        server_metrics().inflight.set(specs.len() as u64);
         run_batch_ordered(
             specs.len(),
             threads,
@@ -344,6 +354,7 @@ fn dispatcher_loop(engine: &Engine) {
                 }
             },
         );
+        server_metrics().inflight.set(0);
     }
 }
 
@@ -413,6 +424,7 @@ impl Service {
             work: Condvar::new(),
             space: Condvar::new(),
             collection: Mutex::new(None),
+            sessions: AtomicU64::new(0),
             config,
         });
         let dispatcher_engine = engine.clone();
@@ -454,6 +466,8 @@ impl Service {
     /// Opens a session driver for a custom transport. Most callers want
     /// [`Service::run_session`] instead.
     pub fn open_session(&self) -> SessionDriver<'_> {
+        self.engine.sessions.fetch_add(1, Ordering::SeqCst);
+        server_metrics().sessions_live.inc();
         SessionDriver {
             service: self,
             shared: Arc::new(SessionShared::new(self.engine.config.shard_id.clone())),
@@ -581,6 +595,12 @@ pub(crate) struct SessionShared {
     ready: Condvar,
     /// The server's diagnostic shard tag, echoed on stats lines.
     shard: Option<String>,
+    /// This session's submitted-but-undelivered partition jobs. Sampled
+    /// by the writer when it renders a `stats` slot: every *preceding*
+    /// job has delivered by then (responses stream in submission order),
+    /// so the value is deterministic whenever no partition requests
+    /// trail the stats request in flight (see PROTOCOL.md).
+    outstanding: AtomicU64,
 }
 
 impl SessionShared {
@@ -589,6 +609,7 @@ impl SessionShared {
             state: Mutex::new(SessionSlots::default()),
             ready: Condvar::new(),
             shard,
+            outstanding: AtomicU64::new(0),
         }
     }
 
@@ -692,7 +713,13 @@ pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) 
                 (line, switch)
             }
             Slot::Stats { id, snapshot } => (
-                protocol::stats_response(&id, snapshot, &completed, shared.shard.as_deref()),
+                protocol::stats_response(
+                    &id,
+                    snapshot,
+                    &completed,
+                    shared.outstanding.load(Ordering::SeqCst),
+                    shared.shard.as_deref(),
+                ),
                 None,
             ),
         };
@@ -700,6 +727,13 @@ pub(crate) fn write_responses<W: Write>(shared: &SessionShared, output: &mut W) 
         // the session still terminates cleanly.
         if codec::write_response_unit(output, wire, &line).is_ok() {
             written += 1;
+            bytes_out(
+                match wire {
+                    WireCodec::JsonLines => "json",
+                    WireCodec::Binary => "binary",
+                },
+                line.len() as u64 + 1,
+            );
         }
         // A hello ack travels in the old codec; everything after it in
         // the negotiated one.
@@ -734,12 +768,14 @@ impl SessionDriver<'_> {
         let index = self.next_index;
         self.next_index += 1;
         self.summary.received += 1;
+        server_metrics().requests.inc();
         self.shared.push_pending();
         index
     }
 
     fn fail(&mut self, index: u64, id: &Json, code: ErrorCode, message: &str) {
         self.summary.errors += 1;
+        server_metrics().errors.inc();
         self.shared.set(
             index,
             protocol::error_response(id, code, message, self.shard()),
@@ -751,8 +787,14 @@ impl SessionDriver<'_> {
     /// reading (an in-band `shutdown`).
     pub fn handle_unit(&mut self, kind: UnitKind, bytes: &[u8]) -> bool {
         match kind {
-            UnitKind::Line => self.handle_text(bytes),
-            UnitKind::Frame => self.handle_frame(bytes),
+            UnitKind::Line => {
+                bytes_in("json", bytes.len() as u64);
+                self.handle_text(bytes)
+            }
+            UnitKind::Frame => {
+                bytes_in("binary", bytes.len() as u64);
+                self.handle_frame(bytes)
+            }
         }
     }
 
@@ -856,11 +898,13 @@ impl SessionDriver<'_> {
     fn dispatch(&mut self, index: u64, request: protocol::Request) -> bool {
         match request.op {
             RequestOp::Ping => {
+                op_counter("ping").inc();
                 self.shared
                     .set(index, protocol::op_response(&request.id, "ping"));
                 true
             }
             RequestOp::Stats => {
+                op_counter("stats").inc();
                 // The snapshot counters are fixed now (in stream order);
                 // the per-backend completed counts are filled in by the
                 // writer when every preceding response has been delivered.
@@ -872,17 +916,20 @@ impl SessionDriver<'_> {
                         cache_hits: self.summary.cache_hits,
                         cache_misses: self.summary.cache_misses,
                         errors: self.summary.errors,
+                        sessions: self.service.engine.sessions.load(Ordering::SeqCst),
                     },
                 );
                 true
             }
             RequestOp::Shutdown => {
+                op_counter("shutdown").inc();
                 self.service.initiate_shutdown();
                 self.shared
                     .set(index, protocol::op_response(&request.id, "shutdown"));
                 false
             }
             RequestOp::Hello => {
+                op_counter("hello").inc();
                 // A bare hello (no codec field) re-affirms JSON lines.
                 let codec = request.codec.unwrap_or(WireCodec::JsonLines);
                 self.pending_switch = Some(codec);
@@ -891,6 +938,7 @@ impl SessionDriver<'_> {
                 true
             }
             RequestOp::Partition => {
+                op_counter("partition").inc();
                 let spec = request.spec.expect("partition requests carry a spec");
                 self.submit_partition(index, request.id, spec);
                 true
@@ -908,6 +956,7 @@ impl SessionDriver<'_> {
             Ok(matrix) => matrix,
             Err((code, message)) => {
                 self.summary.errors += 1;
+                server_metrics().errors.inc();
                 self.shared.set(
                     index,
                     protocol::error_response(&id, code, &message, self.shard()),
@@ -934,7 +983,12 @@ impl SessionDriver<'_> {
         let include_partition = spec.include_partition;
         let timing = engine.config.timing;
         let deliver_id = id.clone();
+        // Count the job as outstanding from submission until delivery;
+        // synchronous cache hits cancel out before anyone can observe
+        // the increment through a stats slot.
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
         let deliver: Deliver = Box::new(move |outcome, cached, secs| {
+            shared.outstanding.fetch_sub(1, Ordering::SeqCst);
             let time_ms = timing.then_some(secs * 1000.0);
             let line =
                 protocol::ok_response(&deliver_id, &outcome, cached, include_partition, time_ms);
@@ -946,12 +1000,17 @@ impl SessionDriver<'_> {
         match engine.submit(key, backend, matrix, deliver) {
             SubmitOutcome::CacheHit | SubmitOutcome::Follower => {
                 self.summary.cache_hits += 1;
+                server_metrics().cache_hits.inc();
             }
             SubmitOutcome::Queued => {
                 self.summary.cache_misses += 1;
+                server_metrics().cache_misses.inc();
             }
             SubmitOutcome::Rejected => {
+                // The deliver callback never runs for rejected jobs.
+                self.shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                 self.summary.errors += 1;
+                server_metrics().errors.inc();
                 self.shared.set(
                     index,
                     protocol::error_response(
@@ -983,6 +1042,13 @@ impl SessionDriver<'_> {
     /// themselves feed the [`write_responses`] return value back here).
     pub(crate) fn record_responses(&mut self, written: u64) {
         self.summary.responses = written;
+    }
+}
+
+impl Drop for SessionDriver<'_> {
+    fn drop(&mut self) {
+        self.service.engine.sessions.fetch_sub(1, Ordering::SeqCst);
+        server_metrics().sessions_live.dec();
     }
 }
 
