@@ -47,6 +47,8 @@ const VALUE_FLAGS: &[&str] = &[
     // bench (the wire-path benchmark harness):
     "--requests",
     "--validate",
+    "--baseline",
+    "--against",
     // observability (serve / route / metrics):
     "--metrics-addr",
     "--log-level",

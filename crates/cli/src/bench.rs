@@ -10,9 +10,19 @@
 //!
 //! * default run: measure every workload × codec × transport cell and
 //!   print a table (`--json` / `-o FILE` for the JSON document instead);
+//!   the run ends with the *compute trajectory* — fresh large inline
+//!   partitions per backend, sized so the partitioner phases (not the
+//!   wire) dominate, summarised in the document's `compute` block.
+//!   `--baseline FILE` embeds the compute phases of a previously
+//!   generated document and records per-phase speedups against it;
 //! * `--validate FILE`: schema-check a bench document and enforce the
 //!   trajectory gates (binary beats JSON on bytes for inline payloads,
-//!   and on throughput for the decode-bound cached workload);
+//!   on throughput for the decode-bound cached workload, and — for a
+//!   document carrying a compute baseline — the kernel-speedup gate).
+//!   `--against COMMITTED` additionally compares the validated
+//!   document's compute-phase *shares* to the committed trajectory file
+//!   within a tolerance band, so CI catches per-phase regressions
+//!   without depending on wall-clock absolutes;
 //! * `--conformance`: run one mixed request stream through both codecs
 //!   at 1/2/4 worker threads and require byte-identical response texts.
 
@@ -29,7 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const SCHEMA: &str = "mgpart-bench/v1";
-const TRAJECTORY: u64 = 8;
+const TRAJECTORY: u64 = 9;
 const HELLO_BINARY: &str = "{\"id\":\"bench\",\"op\":\"hello\",\"codec\":\"binary\"}";
 
 /// The workloads every codec is measured on. `inline` is fresh compute
@@ -38,6 +48,32 @@ const HELLO_BINARY: &str = "{\"id\":\"bench\",\"op\":\"hello\",\"codec\":\"binar
 /// and the wire + decode path dominates; `collection` names server-side
 /// matrices (tiny requests); `ping` is pure protocol overhead.
 const PIPE_WORKLOADS: &[&str] = &["inline", "inline_cached", "collection", "ping"];
+
+/// The backends the compute trajectory partitions fresh large matrices
+/// through (one preset with boundary FM off, one with it on, so both FM
+/// seeding disciplines are measured).
+const COMPUTE_BACKENDS: &[&str] = &["mondriaan", "patoh"];
+
+/// The phases the kernel-speedup gate is allowed to count: the three hot
+/// loops of the raw-speed pass (ROADMAP "part 2"). A committed document
+/// carrying a compute `baseline` must show ≥ [`GATE_SPEEDUP`]× on at
+/// least [`GATE_PHASES_REQUIRED`] of them.
+const GATE_PHASES: &[&str] = &["medium_grain_build", "fm_refinement", "volume_count"];
+const GATE_SPEEDUP: f64 = 1.3;
+const GATE_PHASES_REQUIRED: usize = 2;
+
+/// Minimum fraction of compute-trajectory phase seconds that must land in
+/// the gate phases: proves the workloads are sized so the hot kernels
+/// (not coarsest-level initial partitioning) dominate.
+const COMPUTE_HOT_MIN: f64 = 0.25;
+
+/// Tolerance band of the `--against` share comparison: a phase's share of
+/// compute time may exceed the committed document's share by at most
+/// `share * SHARE_BAND_FACTOR + SHARE_BAND_FLOOR`. Shares are
+/// machine-speed independent, so this catches a kernel regressing
+/// relative to its siblings without gating on wall-clock absolutes.
+const SHARE_BAND_FACTOR: f64 = 2.0;
+const SHARE_BAND_FLOOR: f64 = 0.10;
 
 struct BenchConfig {
     requests: u64,
@@ -67,7 +103,7 @@ impl Row {
 
 pub fn bench(parsed: &Parsed) -> Result<(), String> {
     if let Some(path) = parsed.flag_opt("--validate") {
-        return validate_file(&path);
+        return validate_file(&path, parsed.flag_opt("--against").as_deref());
     }
     if parsed.has("--conformance") {
         return conformance();
@@ -113,8 +149,32 @@ pub fn bench(parsed: &Parsed) -> Result<(), String> {
         rows.push(routed_run(&config, codec, &lines));
     }
 
+    // The compute trajectory: fresh large inline partitions per backend,
+    // snapshotting the phase histograms around exactly these cells so the
+    // `compute` block reports a wire-free kernel profile.
+    let baseline = match parsed.flag_opt("--baseline") {
+        Some(path) => Some(load_compute_phases(&path)?),
+        None => None,
+    };
+    let compute_before: Vec<(u64, f64)> = mg_obs::PHASES
+        .iter()
+        .map(|p| mg_obs::phase_stats(p))
+        .collect();
+    let mut compute_rows: Vec<Row> = Vec::new();
+    for &backend in COMPUTE_BACKENDS {
+        let lines = compute_lines(backend, &config);
+        compute_rows.push(pipe_run(
+            &config,
+            &format!("compute_{backend}"),
+            "binary",
+            &lines,
+        ));
+    }
+    let compute = compute_json(&compute_rows, &compute_before, baseline.as_deref());
+    rows.extend(compute_rows);
+
     let phases = phases_json(&phase_before);
-    let document = render_document(&config, &rows, phases);
+    let document = render_document(&config, &rows, phases, compute);
     if let Some(path) = parsed.flag_opt("-o") {
         std::fs::write(&path, format!("{document}\n"))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -185,6 +245,146 @@ fn workload_lines(workload: &str, config: &BenchConfig) -> Vec<String> {
             .collect(),
         other => unreachable!("unknown workload {other}"),
     }
+}
+
+/// The request lines of one compute-trajectory cell: fresh large 2D
+/// Laplacians (distinct dimensions per request, so every request computes)
+/// partitioned through an explicit backend. Sized so `medium_grain_build`,
+/// `fm_refinement` and `volume_count` dominate the phase profile — the
+/// wire carries a few hundred KB but the partitioner does the work.
+fn compute_lines(backend: &str, config: &BenchConfig) -> Vec<String> {
+    let (count, base) = if config.quick {
+        (5u32, 120)
+    } else {
+        (8u32, 144)
+    };
+    (0..count)
+        .map(|r| {
+            let k = (base + r) as Idx;
+            let a = gen::laplacian_2d(k, k);
+            format!(
+                "{{\"id\":{r},\"matrix\":{},\"seed\":7,\"backend\":\"{backend}\"}}",
+                inline_json(&a)
+            )
+        })
+        .collect()
+}
+
+/// Reads the `compute.phases` block of a previously generated bench
+/// document, for `--baseline`: the pre-change tree's kernel profile.
+fn load_compute_phases(path: &str) -> Result<Vec<(String, u64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let document = Json::parse(text.trim()).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let phases = document
+        .get("compute")
+        .and_then(|c| c.get("phases"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no compute.phases block (not a compute-era document?)"))?;
+    phases
+        .iter()
+        .map(|entry| {
+            let phase = entry
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: compute phase entry without a name"))?;
+            let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let seconds = entry.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+            Ok((phase.to_string(), count, seconds))
+        })
+        .collect()
+}
+
+/// Renders one phase-delta array entry.
+fn phase_entry(phase: &str, count: u64, seconds: f64) -> Json {
+    obj(vec![
+        ("phase", Json::Str(phase.into())),
+        ("count", Json::UInt(count)),
+        ("seconds", Json::Num(seconds)),
+        ("mean_seconds", Json::Num(seconds / count.max(1) as f64)),
+    ])
+}
+
+/// The `compute` block: per-backend cells, the phase deltas of exactly
+/// those cells, the hot-phase fraction, and — when a `--baseline`
+/// document was given — the embedded baseline profile plus per-phase
+/// speedups against it.
+fn compute_json(
+    rows: &[Row],
+    before: &[(u64, f64)],
+    baseline: Option<&[(String, u64, f64)]>,
+) -> Json {
+    let deltas: Vec<(String, u64, f64)> = mg_obs::PHASES
+        .iter()
+        .zip(before)
+        .map(|(phase, (count_before, seconds_before))| {
+            let (count_now, seconds_now) = mg_obs::phase_stats(phase);
+            (
+                phase.to_string(),
+                count_now.saturating_sub(*count_before),
+                (seconds_now - seconds_before).max(0.0),
+            )
+        })
+        .collect();
+    let total: f64 = deltas.iter().map(|(_, _, s)| s).sum();
+    let hot: f64 = deltas
+        .iter()
+        .filter(|(p, _, _)| GATE_PHASES.contains(&p.as_str()))
+        .map(|(_, _, s)| s)
+        .sum();
+    let mut fields = vec![
+        ("workloads", Json::Arr(rows.iter().map(row_json).collect())),
+        (
+            "requests",
+            Json::UInt(rows.iter().map(|r| r.requests).sum()),
+        ),
+        ("seconds", Json::Num(rows.iter().map(|r| r.seconds).sum())),
+        (
+            "phases",
+            Json::Arr(
+                deltas
+                    .iter()
+                    .map(|(p, c, s)| phase_entry(p, *c, *s))
+                    .collect(),
+            ),
+        ),
+        (
+            "hot_fraction",
+            Json::Num(if total > 0.0 { hot / total } else { 0.0 }),
+        ),
+    ];
+    if let Some(baseline) = baseline {
+        fields.push((
+            "baseline",
+            obj(vec![(
+                "phases",
+                Json::Arr(
+                    baseline
+                        .iter()
+                        .map(|(p, c, s)| phase_entry(p, *c, *s))
+                        .collect(),
+                ),
+            )]),
+        ));
+        let improvement: Vec<Json> = deltas
+            .iter()
+            .filter_map(|(phase, _, seconds)| {
+                let (_, _, base_seconds) = baseline.iter().find(|(p, _, _)| p == phase)?;
+                let speedup = if *seconds > 1e-12 {
+                    (base_seconds / seconds).min(9999.0)
+                } else {
+                    9999.0
+                };
+                Some(obj(vec![
+                    ("phase", Json::Str(phase.clone())),
+                    ("baseline_seconds", Json::Num(*base_seconds)),
+                    ("seconds", Json::Num(*seconds)),
+                    ("speedup", Json::Num(speedup)),
+                ]))
+            })
+            .collect();
+        fields.push(("improvement", Json::Arr(improvement)));
+    }
+    obj(fields)
 }
 
 fn json_script(lines: &[String]) -> Vec<u8> {
@@ -481,7 +681,7 @@ fn phases_json(before: &[(u64, f64)]) -> Vec<Json> {
         .collect()
 }
 
-fn render_document(config: &BenchConfig, rows: &[Row], phases: Vec<Json>) -> String {
+fn render_document(config: &BenchConfig, rows: &[Row], phases: Vec<Json>, compute: Json) -> String {
     obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         ("trajectory", Json::UInt(TRAJECTORY)),
@@ -495,6 +695,7 @@ fn render_document(config: &BenchConfig, rows: &[Row], phases: Vec<Json>) -> Str
         ),
         ("results", Json::Arr(rows.iter().map(row_json).collect())),
         ("phases", Json::Arr(phases)),
+        ("compute", compute),
         ("comparisons", Json::Arr(comparisons_json(rows))),
     ])
     .to_string()
@@ -529,11 +730,72 @@ fn print_table(rows: &[Row]) {
 // --validate: schema + trajectory gates on a bench document
 // ---------------------------------------------------------------------
 
-fn validate_file(path: &str) -> Result<(), String> {
+fn validate_file(path: &str, against: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let document = Json::parse(text.trim()).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
     validate_document(&document).map_err(|e| format!("{path}: {e}"))?;
-    println!("{path}: ok");
+    if let Some(committed) = against {
+        validate_against(&document, committed).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok (compute shares within band of {committed})");
+    } else {
+        println!("{path}: ok");
+    }
+    Ok(())
+}
+
+/// Per-phase seconds of a document's `compute.phases` block.
+fn compute_seconds(document: &Json) -> Result<Vec<(String, f64)>, String> {
+    let phases = document
+        .get("compute")
+        .and_then(|c| c.get("phases"))
+        .and_then(Json::as_array)
+        .ok_or("missing compute.phases block")?;
+    Ok(phases
+        .iter()
+        .filter_map(|entry| {
+            let phase = entry.get("phase").and_then(Json::as_str)?;
+            let seconds = entry.get("seconds").and_then(Json::as_f64)?;
+            Some((phase.to_string(), seconds))
+        })
+        .collect())
+}
+
+/// The `--against` regression gate: compare the fresh document's
+/// compute-phase *shares* (seconds / total compute seconds) to the
+/// committed trajectory document's shares. Shares are machine-speed
+/// independent, so a slow CI runner passes while a kernel that regressed
+/// relative to its siblings fails. The band is generous
+/// ([`SHARE_BAND_FACTOR`]× + [`SHARE_BAND_FLOOR`]) because speeding one
+/// phase up mechanically inflates every other phase's share.
+fn validate_against(fresh: &Json, committed_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("reading {committed_path}: {e}"))?;
+    let committed =
+        Json::parse(text.trim()).map_err(|e| format!("{committed_path}: not valid JSON: {e}"))?;
+    let fresh_phases = compute_seconds(fresh)?;
+    let committed_phases =
+        compute_seconds(&committed).map_err(|e| format!("{committed_path}: {e}"))?;
+    let fresh_total: f64 = fresh_phases.iter().map(|(_, s)| s).sum();
+    let committed_total: f64 = committed_phases.iter().map(|(_, s)| s).sum();
+    if fresh_total <= 0.0 || committed_total <= 0.0 {
+        return Err("compute phase totals must be positive on both sides".into());
+    }
+    for (phase, seconds) in &fresh_phases {
+        let committed_seconds = committed_phases
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| format!("{committed_path}: no compute phase {phase:?}"))?;
+        let share = seconds / fresh_total;
+        let committed_share = committed_seconds / committed_total;
+        let band = committed_share * SHARE_BAND_FACTOR + SHARE_BAND_FLOOR;
+        if share > band {
+            return Err(format!(
+                "compute phase {phase:?} regressed: share {share:.3} exceeds \
+                 committed share {committed_share:.3} band (≤ {band:.3})"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -637,6 +899,62 @@ fn validate_document(document: &Json) -> Result<(), String> {
                     "phase {required:?}: {name} must be non-negative, got {value}"
                 ));
             }
+        }
+    }
+
+    // The compute trajectory: per-backend cells present, the gate phases
+    // observed, and — for the committed BENCH_9 document, which carries a
+    // baseline — the kernel-speedup gate.
+    let compute = field(document, "compute")?;
+    for &backend in COMPUTE_BACKENDS {
+        let name = format!("compute_{backend}");
+        if !results
+            .iter()
+            .any(|row| row.get("workload").and_then(Json::as_str) == Some(name.as_str()))
+        {
+            return Err(format!("missing compute row for backend {backend}"));
+        }
+    }
+    let compute_phases = field(compute, "phases")?
+        .as_array()
+        .ok_or("compute.phases must be an array")?;
+    for required in GATE_PHASES {
+        let entry = compute_phases
+            .iter()
+            .find(|p| p.get("phase").and_then(Json::as_str) == Some(required))
+            .ok_or_else(|| format!("missing compute phase entry {required:?}"))?;
+        let count = field(entry, "count")?.as_u64().ok_or_else(|| {
+            format!("compute phase {required:?}: count must be an unsigned integer")
+        })?;
+        if count == 0 {
+            return Err(format!(
+                "compute phase {required:?} recorded no observations"
+            ));
+        }
+    }
+    let hot_fraction = field(compute, "hot_fraction")?
+        .as_f64()
+        .ok_or("compute.hot_fraction must be a number")?;
+    if hot_fraction.is_nan() || hot_fraction < COMPUTE_HOT_MIN {
+        return Err(format!(
+            "compute workloads are not kernel-bound: hot_fraction {hot_fraction:.3} \
+             < {COMPUTE_HOT_MIN} (gate phases must dominate)"
+        ));
+    }
+    if let Some(improvement) = compute.get("improvement").and_then(Json::as_array) {
+        let passing = improvement
+            .iter()
+            .filter(|entry| {
+                let phase = entry.get("phase").and_then(Json::as_str).unwrap_or("");
+                let speedup = entry.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+                GATE_PHASES.contains(&phase) && speedup >= GATE_SPEEDUP
+            })
+            .count();
+        if passing < GATE_PHASES_REQUIRED {
+            return Err(format!(
+                "kernel-speedup gate: only {passing} of {GATE_PHASES:?} reached \
+                 {GATE_SPEEDUP}× vs baseline (need {GATE_PHASES_REQUIRED})"
+            ));
         }
     }
 

@@ -23,7 +23,7 @@
 
 use crate::split::Split;
 use mg_hypergraph::{Hypergraph, HypergraphBuilder};
-use mg_sparse::{Coo, Csc, Csr, Idx, NonzeroPartition};
+use mg_sparse::{Coo, Idx, NonzeroPartition};
 
 /// Sentinel for "this row/column has no group vertex".
 const NO_VERTEX: Idx = Idx::MAX;
@@ -91,33 +91,42 @@ impl MediumGrainModel {
         // Nets. Row i of A → net over {col-group vertices of its Ac
         // entries} ∪ {its own row-group vertex}; the dummy diagonal of B is
         // what contributes the row-group pin. Symmetrically for columns.
-        let csr = Csr::from_coo(a);
-        let csc = Csc::from_coo(a);
+        //
+        // No CSR/CSC materialisation: the canonical entry order *is*
+        // row-major, and a column-major walk only needs the permutation.
+        // Pins are emitted strictly increasing (column-group ids precede
+        // row-group ids by construction) so the builder skips its per-net
+        // sort entirely.
+        let entries = a.entries();
         let mut builder = HypergraphBuilder::new(weights).drop_singleton_nets();
         let mut pins: Vec<Idx> = Vec::new();
+        let mut k = 0usize;
         for i in 0..a.rows() {
             pins.clear();
-            for k in csr.row_nonzero_ids(i) {
+            while k < entries.len() && entries[k].0 == i {
                 if !split.in_row(k) {
-                    let j = a.entry(k).1;
-                    pins.push(vertex_of_col[j as usize]);
+                    pins.push(vertex_of_col[entries[k].1 as usize]);
                 }
+                k += 1;
             }
             if vertex_of_row[i as usize] != NO_VERTEX {
                 pins.push(vertex_of_row[i as usize]);
             }
             builder.add_net(1, pins.iter().copied());
         }
+        let perm = a.column_major_order();
+        let mut pos = 0usize;
         for j in 0..a.cols() {
             pins.clear();
-            for &k in csc.col_nonzero_ids(j) {
-                if split.in_row(k as usize) {
-                    let i = a.entry(k as usize).0;
-                    pins.push(vertex_of_row[i as usize]);
-                }
-            }
             if vertex_of_col[j as usize] != NO_VERTEX {
                 pins.push(vertex_of_col[j as usize]);
+            }
+            while pos < perm.len() && entries[perm[pos] as usize].1 == j {
+                let k = perm[pos] as usize;
+                if split.in_row(k) {
+                    pins.push(vertex_of_row[entries[k].0 as usize]);
+                }
+                pos += 1;
             }
             builder.add_net(1, pins.iter().copied());
         }

@@ -26,7 +26,9 @@ pub struct BipartitionResult {
 
 impl BipartitionResult {
     pub(crate) fn from_partition(a: &Coo, partition: NonzeroPartition) -> Self {
+        let volume_timer = mg_obs::phase("volume_count");
         let volume = communication_volume(a, &partition);
+        drop(volume_timer);
         BipartitionResult {
             partition,
             volume,

@@ -19,7 +19,7 @@
 use crate::bmatrix::MediumGrainModel;
 use crate::split::Split;
 use mg_hypergraph::VertexBipartition;
-use mg_partitioner::{fm_refine, FmLimits};
+use mg_partitioner::{fm_refine_with_scratch, FmLimits, FmScratch};
 use mg_sparse::{communication_volume, part_budget, Coo, NonzeroPartition};
 
 /// Effort limits for each "single KL run" of Algorithm 2.
@@ -94,6 +94,8 @@ pub fn iterative_refinement_with_budgets(
     let mut volumes = vec![communication_volume(a, &current)];
     let mut direction = 0u8;
     let mut iterations = 0u32;
+    // One FM scratch serves every KL run of the loop.
+    let mut scratch = FmScratch::new();
 
     while iterations < options.max_iterations {
         iterations += 1;
@@ -110,7 +112,7 @@ pub fn iterative_refinement_with_budgets(
         // by construction) and run a single KL/FM refinement.
         let sides = model.sides_from_partition(a, &current);
         let mut bp = VertexBipartition::new(&model.hypergraph, sides);
-        fm_refine(&model.hypergraph, &mut bp, &limits);
+        fm_refine_with_scratch(&model.hypergraph, &mut bp, &limits, &mut scratch);
         let refined = model.to_nonzero_partition(a, &bp.into_sides());
         let volume = communication_volume(a, &refined);
 

@@ -17,8 +17,21 @@
 //! that is otherwise entirely in `Ac`) so the whole line is guaranteed
 //! uncut.
 
-use mg_sparse::Coo;
+use mg_sparse::{Coo, Idx};
 use rand::Rng;
+
+/// `nzr` and `nzc` in one pass over the entries instead of two — the split
+/// heuristic and its post-pass both consume the pair, so Algorithm 1 end to
+/// end reads the entry list once for counting rather than four times.
+fn row_col_counts(a: &Coo) -> (Vec<Idx>, Vec<Idx>) {
+    let mut nzr = vec![0 as Idx; a.rows() as usize];
+    let mut nzc = vec![0 as Idx; a.cols() as usize];
+    for &(i, j) in a.entries() {
+        nzr[i as usize] += 1;
+        nzc[j as usize] += 1;
+    }
+    (nzr, nzc)
+}
 
 /// Which side wins score ties globally (Algorithm 1, lines 2–7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,16 +136,23 @@ pub fn initial_split<R: Rng>(a: &Coo, rng: &mut R) -> Split {
             }
         }
     };
-    let mut split = split_with_preference(a, preference);
-    improve_split(a, &mut split);
+    let (nzr, nzc) = row_col_counts(a);
+    let mut split = split_with_counts(a, preference, &nzr, &nzc);
+    improve_split_with_counts(a, &mut split, &nzr, &nzc);
     split
 }
 
 /// Algorithm 1 proper (lines 8–21) with an explicit tie preference and no
 /// post-pass; exposed separately so tests can exercise each piece.
 pub fn split_with_preference(a: &Coo, preference: GlobalPreference) -> Split {
-    let nzr = a.row_counts();
-    let nzc = a.col_counts();
+    let (nzr, nzc) = row_col_counts(a);
+    split_with_counts(a, preference, &nzr, &nzc)
+}
+
+/// Algorithm 1 proper over precomputed `nzr`/`nzc` vectors, so callers that
+/// already hold the counts (the composed [`initial_split`]) avoid
+/// recomputing them.
+fn split_with_counts(a: &Coo, preference: GlobalPreference, nzr: &[Idx], nzc: &[Idx]) -> Split {
     let in_row = a
         .iter()
         .map(|(i, j)| {
@@ -159,11 +179,14 @@ pub fn split_with_preference(a: &Coo, preference: GlobalPreference) -> Split {
 /// guaranteed uncut); symmetrically for columns into `Ac`. One pass over
 /// rows, then one over columns.
 pub fn improve_split(a: &Coo, split: &mut Split) {
+    let (nzr, nzc) = row_col_counts(a);
+    improve_split_with_counts(a, split, &nzr, &nzc)
+}
+
+/// The post-improvement over precomputed counts (see [`improve_split`]).
+fn improve_split_with_counts(a: &Coo, split: &mut Split, nzr: &[Idx], nzc: &[Idx]) {
     let m = a.rows() as usize;
     let n = a.cols() as usize;
-
-    let nzr = a.row_counts();
-    let nzc = a.col_counts();
 
     // Rows: count Ac strays per row; move the stray if it is unique and the
     // row actually has other (Ar) nonzeros — a length-1 row fully in Ac is

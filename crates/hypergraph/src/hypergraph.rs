@@ -201,15 +201,29 @@ impl HypergraphBuilder {
         for n in 0..num_nets {
             let (lo, hi) = (self.net_ptr[n], self.net_ptr[n + 1]);
             let pins = &mut self.net_pins[lo..hi];
-            pins.sort_unstable();
-            let mut len = 0usize;
-            for idx in 0..pins.len() {
-                debug_assert!((pins[idx] as usize) < num_vertices, "pin out of bounds");
-                if len == 0 || pins[len - 1] != pins[idx] {
-                    pins[len] = pins[idx];
-                    len += 1;
+            // Most producers (the medium-grain model, contraction) emit
+            // pins already strictly increasing; skip the sort *and* the
+            // dedup compaction for them.
+            let sorted_unique = pins.windows(2).all(|w| w[0] < w[1]);
+            let len = if sorted_unique {
+                if cfg!(debug_assertions) {
+                    for &p in pins.iter() {
+                        debug_assert!((p as usize) < num_vertices, "pin out of bounds");
+                    }
                 }
-            }
+                pins.len()
+            } else {
+                pins.sort_unstable();
+                let mut len = 0usize;
+                for idx in 0..pins.len() {
+                    debug_assert!((pins[idx] as usize) < num_vertices, "pin out of bounds");
+                    if len == 0 || pins[len - 1] != pins[idx] {
+                        pins[len] = pins[idx];
+                        len += 1;
+                    }
+                }
+                len
+            };
             if len >= min_size {
                 self.net_pins.copy_within(lo..lo + len, write_pin);
                 write_pin += len;

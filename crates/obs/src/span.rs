@@ -7,13 +7,15 @@ use crate::metrics::{registry, Histogram};
 use std::time::Instant;
 
 /// The partitioner's phases, mirroring the paper's Fig. 5 breakdown:
-/// medium-grain A^c/A^r model build, coarsening, initial partition, and
-/// FM refinement during uncoarsening.
+/// medium-grain A^c/A^r model build, coarsening, initial partition, FM
+/// refinement during uncoarsening, and the final λ−1 volume count over
+/// the mapped nonzero partition (eqn (3)).
 pub const PHASES: &[&str] = &[
     "medium_grain_build",
     "coarsening",
     "initial_partition",
     "fm_refinement",
+    "volume_count",
 ];
 
 /// Bucket upper bounds (seconds) for phase histograms: 10 µs … 10 s.

@@ -8,7 +8,6 @@
 use crate::matching::Clustering;
 use crate::Idx;
 use mg_hypergraph::{Hypergraph, HypergraphBuilder};
-use std::collections::HashMap;
 
 /// The result of one coarsening level.
 #[derive(Debug, Clone)]
@@ -28,28 +27,52 @@ pub fn contract(h: &Hypergraph, clustering: &Clustering) -> CoarseLevel {
     }
 
     // Remap nets, dedup pins within each net, drop singletons, merge
-    // identical nets. Identity is the sorted pin list.
-    let mut merged: HashMap<Vec<Idx>, u64> = HashMap::with_capacity(h.num_nets() as usize);
-    let mut scratch: Vec<Idx> = Vec::new();
+    // identical nets. Identity is the sorted pin list. Surviving nets live
+    // as ranges of one flat pin buffer (CSR style) — no per-net Vec, no
+    // hash map; merging is a lexicographic sort of the ranges followed by
+    // an adjacent-equal sweep. Weight sums are u64 additions, so the merge
+    // order cannot change the totals, and the final lex order is exactly
+    // the sorted-key order the deterministic contract promises.
+    let mut pin_buf: Vec<Idx> = Vec::with_capacity(h.num_pins());
+    let mut ranges: Vec<(u32, u32, u64)> = Vec::with_capacity(h.num_nets() as usize);
     for (_, w, pins) in h.nets() {
-        scratch.clear();
-        scratch.extend(pins.iter().map(|&v| clustering.cluster[v as usize]));
-        scratch.sort_unstable();
-        scratch.dedup();
-        if scratch.len() < 2 {
+        let start = pin_buf.len();
+        pin_buf.extend(pins.iter().map(|&v| clustering.cluster[v as usize]));
+        pin_buf[start..].sort_unstable();
+        let mut len = 0usize;
+        for idx in start..pin_buf.len() {
+            if len == 0 || pin_buf[start + len - 1] != pin_buf[idx] {
+                pin_buf[start + len] = pin_buf[idx];
+                len += 1;
+            }
+        }
+        if len < 2 {
+            pin_buf.truncate(start);
             continue;
         }
-        *merged.entry(scratch.clone()).or_insert(0) += w;
+        pin_buf.truncate(start + len);
+        ranges.push((start as u32, (start + len) as u32, w));
     }
-
-    // Deterministic net order (sorted by pin list) so coarsening is
-    // reproducible regardless of hash iteration order.
-    let mut nets: Vec<(Vec<Idx>, u64)> = merged.into_iter().collect();
-    nets.sort_unstable();
+    ranges.sort_unstable_by(|&(s0, e0, _), &(s1, e1, _)| {
+        pin_buf[s0 as usize..e0 as usize].cmp(&pin_buf[s1 as usize..e1 as usize])
+    });
 
     let mut builder = HypergraphBuilder::new(weights);
-    for (pins, w) in nets {
-        builder.add_net(w, pins);
+    let mut i = 0usize;
+    while i < ranges.len() {
+        let (s, e, mut w) = ranges[i];
+        let pins = &pin_buf[s as usize..e as usize];
+        let mut j = i + 1;
+        while j < ranges.len() {
+            let (s2, e2, w2) = ranges[j];
+            if &pin_buf[s2 as usize..e2 as usize] != pins {
+                break;
+            }
+            w += w2;
+            j += 1;
+        }
+        builder.add_net(w, pins.iter().copied());
+        i = j;
     }
     CoarseLevel {
         coarse: builder.build(),
@@ -130,6 +153,73 @@ mod tests {
             let coarse_cut = VertexBipartition::new(&level.coarse, coarse_sides).cut_weight();
             let fine_cut = VertexBipartition::new(&h, fine_sides).cut_weight();
             assert_eq!(coarse_cut, fine_cut, "mask {mask}");
+        }
+    }
+
+    /// Naive nested-Vec/HashMap contraction — the pre-flattening reference
+    /// semantics the CSR-style buffer version must reproduce exactly.
+    fn contract_reference(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
+        use std::collections::HashMap;
+        let k = clustering.num_clusters as usize;
+        let mut weights = vec![0u64; k];
+        for v in 0..h.num_vertices() {
+            weights[clustering.cluster[v as usize] as usize] += h.vertex_weight(v);
+        }
+        let mut merged: HashMap<Vec<Idx>, u64> = HashMap::new();
+        for (_, w, pins) in h.nets() {
+            let mut p: Vec<Idx> = pins
+                .iter()
+                .map(|&v| clustering.cluster[v as usize])
+                .collect();
+            p.sort_unstable();
+            p.dedup();
+            if p.len() < 2 {
+                continue;
+            }
+            *merged.entry(p).or_insert(0) += w;
+        }
+        let mut nets: Vec<(Vec<Idx>, u64)> = merged.into_iter().collect();
+        nets.sort_unstable();
+        let mut builder = HypergraphBuilder::new(weights);
+        for (pins, w) in nets {
+            builder.add_net(w, pins);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn flat_contract_matches_nested_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let n = rng.gen_range(4..40u32);
+            let mut b =
+                HypergraphBuilder::new((0..n).map(|_| rng.gen_range(1..5u64)).collect::<Vec<_>>());
+            for _ in 0..rng.gen_range(2..50) {
+                let deg = rng.gen_range(1..6usize);
+                let pins: Vec<Idx> = (0..deg).map(|_| rng.gen_range(0..n)).collect();
+                b.add_net(rng.gen_range(1..8u64), pins);
+            }
+            let h = b.build();
+            let num_clusters = rng.gen_range(1..=n);
+            let c = Clustering {
+                cluster: (0..n).map(|_| rng.gen_range(0..num_clusters)).collect(),
+                num_clusters,
+            };
+            let fast = contract(&h, &c).coarse;
+            let slow = contract_reference(&h, &c);
+            assert_eq!(fast.num_vertices(), slow.num_vertices(), "trial {trial}");
+            assert_eq!(
+                fast.vertex_weights(),
+                slow.vertex_weights(),
+                "trial {trial}"
+            );
+            assert_eq!(fast.num_nets(), slow.num_nets(), "trial {trial}");
+            for net in 0..fast.num_nets() {
+                assert_eq!(fast.net_weight(net), slow.net_weight(net), "trial {trial}");
+                assert_eq!(fast.net_pins(net), slow.net_pins(net), "trial {trial}");
+            }
         }
     }
 

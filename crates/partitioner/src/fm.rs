@@ -68,12 +68,52 @@ fn gain_range(h: &Hypergraph) -> i64 {
     best.min(i64::MAX as u64 >> 2) as i64
 }
 
+/// Reusable FM working memory: gain buckets, lock flags, the move log
+/// and the lazy-admission queue. One instance serves every pass of every
+/// level of a multilevel run — the buckets are `reset` (not reallocated)
+/// per pass, which removes the dominant allocation cost of small passes.
+#[derive(Debug, Default)]
+pub struct FmScratch {
+    buckets: Option<[GainBuckets; 2]>,
+    locked: Vec<bool>,
+    moves: Vec<Idx>,
+    pending: Vec<Idx>,
+    seed_gain: Vec<i64>,
+    seed_boundary: Vec<bool>,
+}
+
+impl FmScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        FmScratch::default()
+    }
+}
+
 /// Runs FM passes on `bp` in place. Returns the total cut decrease
 /// (negative only if cut was sacrificed to repair an infeasible balance).
 pub fn fm_refine(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) -> i64 {
+    fm_refine_with_scratch(h, bp, limits, &mut FmScratch::new())
+}
+
+/// [`fm_refine`] with caller-owned working memory — the scratch-reuse
+/// entry point for loops that refine many partitions (multilevel
+/// uncoarsening, initial-partition candidate polish, IR sweeps).
+pub fn fm_refine_with_scratch(
+    h: &Hypergraph,
+    bp: &mut VertexBipartition,
+    limits: &FmLimits,
+    scratch: &mut FmScratch,
+) -> i64 {
+    // Invariant across passes: the hypergraph is fixed, so the bucket
+    // range and the balance slack are too — hoist them out of the pass.
+    let range = gain_range(h);
+    let slack = (0..h.num_vertices())
+        .map(|v| h.vertex_weight(v))
+        .max()
+        .unwrap_or(0);
     let mut total_gain = 0i64;
     for _ in 0..limits.max_passes {
-        let (pass_gain, improved) = fm_pass(h, bp, limits);
+        let (pass_gain, improved) = fm_pass(h, bp, limits, range, slack, scratch);
         total_gain += pass_gain;
         if !improved {
             break;
@@ -89,29 +129,70 @@ pub fn fm_refine(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) 
 /// (the classic FM balance criterion); the best-prefix selection enforces
 /// the true budgets, so the *returned* state never ends up worse than the
 /// start.
-fn fm_pass(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) -> (i64, bool) {
+fn fm_pass(
+    h: &Hypergraph,
+    bp: &mut VertexBipartition,
+    limits: &FmLimits,
+    range: i64,
+    slack: u64,
+    scratch: &mut FmScratch,
+) -> (i64, bool) {
     let n = h.num_vertices() as usize;
     if n == 0 {
         return (0, false);
     }
-    let slack = (0..h.num_vertices())
-        .map(|v| h.vertex_weight(v))
-        .max()
-        .unwrap_or(0);
-    let range = gain_range(h);
-    let mut buckets = [GainBuckets::new(n, range), GainBuckets::new(n, range)];
-    for v in 0..h.num_vertices() {
-        if limits.boundary_only {
-            let boundary = h.vertex_nets(v).iter().any(|&net| bp.is_cut(h, net));
-            if !boundary {
-                continue;
-            }
+    let buckets = match &mut scratch.buckets {
+        Some(buckets) => {
+            buckets[0].reset(n, range);
+            buckets[1].reset(n, range);
+            buckets
         }
-        buckets[bp.side(v) as usize].insert(v, bp.gain(h, v));
+        slot => slot.insert([GainBuckets::new(n, range), GainBuckets::new(n, range)]),
+    };
+    // Seed gains net-major: each net looks up its weight and pin counts
+    // once and streams a per-side delta over its pins, instead of every
+    // pin re-deriving them vertex-major (three indexed loads per pin).
+    // The accumulated sums are the same i64 additions in a different
+    // order, and bucket insertion stays the ascending-vertex loop below,
+    // so seeding is bit-for-bit identical to the per-vertex scan.
+    scratch.seed_gain.clear();
+    scratch.seed_gain.resize(n, 0);
+    scratch.seed_boundary.clear();
+    scratch.seed_boundary.resize(n, false);
+    for net in 0..h.num_nets() {
+        let size = h.net_size(net);
+        if size < 2 {
+            continue; // a single-pin net can never be cut or uncut
+        }
+        let w = h.net_weight(net) as i64;
+        let z0 = bp.pins_in(h, net, 0);
+        let z1 = size - z0;
+        // A side-s pin gains +w when it is the lone s pin (moving it
+        // uncuts the net) and −w when the net is pure on s (moving it
+        // cuts the net); z0 == 1 and z1 == 0 exclude each other at
+        // size ≥ 2, so the sum is the classic FM seed gain.
+        let delta0 = if z0 == 1 { w } else { 0 } + if z1 == 0 { -w } else { 0 };
+        let delta1 = if z1 == 1 { w } else { 0 } + if z0 == 0 { -w } else { 0 };
+        let cut = z0 > 0 && z1 > 0;
+        for &u in h.net_pins(net) {
+            let ui = u as usize;
+            scratch.seed_gain[ui] += if bp.side(u) == 0 { delta0 } else { delta1 };
+            scratch.seed_boundary[ui] |= cut;
+        }
     }
-    let mut locked = vec![false; n];
-    let mut moves: Vec<Idx> = Vec::new();
-    let mut pending: Vec<Idx> = Vec::new();
+    for v in 0..h.num_vertices() {
+        if limits.boundary_only && !scratch.seed_boundary[v as usize] {
+            continue;
+        }
+        buckets[bp.side(v) as usize].insert(v, scratch.seed_gain[v as usize]);
+    }
+    scratch.locked.clear();
+    scratch.locked.resize(n, false);
+    scratch.moves.clear();
+    scratch.pending.clear();
+    let locked = &mut scratch.locked;
+    let moves = &mut scratch.moves;
+    let pending = &mut scratch.pending;
 
     let start_violation = violation(bp, &limits.budget);
     // Minimised key: (violation, -cumulative_gain). The empty prefix is the
@@ -123,11 +204,13 @@ fn fm_pass(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) -> (i6
 
     loop {
         // Candidate per side: best-gain vertex whose move is admissible.
+        // No move happens between the two side scans, so the current
+        // violation is one computation, not one per side.
+        let cur_violation = violation(bp, &limits.budget);
         let mut chosen: Option<(Idx, u8, i64)> = None;
         for from in 0..2u8 {
             let to = 1 - from;
             let to_weight = bp.part_weight(to);
-            let cur_violation = violation(bp, &limits.budget);
             let budget = limits.budget;
             let candidate = buckets[from as usize].best_where(
                 |v| {
@@ -162,13 +245,13 @@ fn fm_pass(h: &Hypergraph, bp: &mut VertexBipartition, limits: &FmLimits) -> (i6
 
         buckets[from as usize].remove(v);
         locked[v as usize] = true;
-        update_neighbor_gains_before(h, bp, v, &locked, &mut buckets, &mut pending);
+        update_neighbor_gains_before(h, bp, v, locked, buckets, pending);
         let realised = bp.move_vertex(h, v);
-        update_neighbor_gains_after(h, bp, v, from, &locked, &mut buckets, &mut pending);
+        update_neighbor_gains_after(h, bp, v, from, locked, buckets, pending);
         // Lazily admit vertices that just became boundary (only possible in
         // boundary mode); their gain is computed fresh from the post-move
         // state, so no delta bookkeeping is needed.
-        for &u in &pending {
+        for &u in pending.iter() {
             if !locked[u as usize] && !buckets[bp.side(u) as usize].contains(u) {
                 buckets[bp.side(u) as usize].insert(u, bp.gain(h, u));
             }

@@ -5,7 +5,7 @@
 //! with FM, and keeps the best by `(violation, cut)`.
 
 use crate::config::PartitionerConfig;
-use crate::fm::{fm_refine, FmLimits};
+use crate::fm::{fm_refine_with_scratch, FmLimits, FmScratch};
 use crate::multilevel::BisectionTargets;
 use crate::Idx;
 use mg_hypergraph::{Hypergraph, VertexBipartition};
@@ -38,6 +38,8 @@ pub fn initial_partition<R: Rng>(
     };
     let candidates = config.initial_candidates.max(1);
     let mut best: Option<VertexBipartition> = None;
+    // One scratch polishes every candidate.
+    let mut scratch = FmScratch::new();
     for c in 0..candidates {
         let sides = if c % 2 == 0 {
             random_balanced(h, targets, rng)
@@ -45,7 +47,7 @@ pub fn initial_partition<R: Rng>(
             greedy_grow(h, targets, rng)
         };
         let mut bp = VertexBipartition::new(h, sides);
-        fm_refine(h, &mut bp, &limits);
+        fm_refine_with_scratch(h, &mut bp, &limits, &mut scratch);
         let key = candidate_key(&bp, &budget);
         if best
             .as_ref()

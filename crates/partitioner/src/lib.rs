@@ -30,7 +30,7 @@ pub mod matching;
 pub mod multilevel;
 
 pub use config::{CoarseningScheme, PartitionerConfig};
-pub use fm::{fm_refine, FmLimits};
+pub use fm::{fm_refine, fm_refine_with_scratch, FmLimits, FmScratch};
 pub use multilevel::{bipartition_hypergraph, BisectionOutcome, BisectionTargets};
 
 pub use mg_hypergraph::Idx;

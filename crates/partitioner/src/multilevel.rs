@@ -3,7 +3,7 @@
 
 use crate::coarsen::{contract, project_sides};
 use crate::config::PartitionerConfig;
-use crate::fm::{fm_refine, FmLimits};
+use crate::fm::{fm_refine_with_scratch, FmLimits, FmScratch};
 use crate::initial::initial_partition;
 use crate::matching::{cluster_vertices, Clustering};
 use crate::Idx;
@@ -98,25 +98,28 @@ pub fn bipartition_hypergraph<R: Rng>(
     drop(initial_timer);
 
     // --- Uncoarsening: project up and refine at every level. ---
+    // One scratch serves every level (and the V-cycles below): the gain
+    // buckets and move logs are reset, not reallocated, per pass.
+    let mut scratch = FmScratch::new();
     let refine_timer = mg_obs::phase("fm_refinement");
     for level in (0..maps.len()).rev() {
         sides = project_sides(&maps[level], &sides);
         let finer: &Hypergraph = if level == 0 { h } else { &graphs[level - 1] };
         let mut bp = VertexBipartition::new(finer, sides);
-        fm_refine(finer, &mut bp, &limits);
+        fm_refine_with_scratch(finer, &mut bp, &limits, &mut scratch);
         sides = bp.into_sides();
     }
     // If no coarsening happened, still refine on the original graph.
     if maps.is_empty() {
         let mut bp = VertexBipartition::new(h, sides);
-        fm_refine(h, &mut bp, &limits);
+        fm_refine_with_scratch(h, &mut bp, &limits, &mut scratch);
         sides = bp.into_sides();
     }
     drop(refine_timer);
 
     // --- Optional restricted V-cycles. ---
     for _ in 0..config.vcycles {
-        sides = vcycle(h, sides, targets, config, rng);
+        sides = vcycle(h, sides, targets, config, rng, &mut scratch);
     }
 
     let bp = VertexBipartition::new(h, sides);
@@ -136,6 +139,7 @@ fn vcycle<R: Rng>(
     targets: &BisectionTargets,
     config: &PartitionerConfig,
     rng: &mut R,
+    scratch: &mut FmScratch,
 ) -> Vec<u8> {
     let budget = targets.budgets();
     let limits = FmLimits {
@@ -183,11 +187,11 @@ fn vcycle<R: Rng>(
             h
         };
         let mut bp = VertexBipartition::new(graph, sides);
-        fm_refine(graph, &mut bp, &limits);
+        fm_refine_with_scratch(graph, &mut bp, &limits, scratch);
         sides = project_sides(&maps[level], &bp.into_sides());
     }
     let mut bp = VertexBipartition::new(h, sides);
-    fm_refine(h, &mut bp, &limits);
+    fm_refine_with_scratch(h, &mut bp, &limits, scratch);
     bp.into_sides()
 }
 

@@ -4,13 +4,64 @@
 
 use mg_hypergraph::{Hypergraph, VertexBipartition};
 use mg_partitioner::coarsen::{contract, project_sides};
+use mg_partitioner::gainbucket::GainBuckets;
 use mg_partitioner::matching::cluster_vertices;
 use mg_partitioner::{
-    bipartition_hypergraph, fm_refine, BisectionTargets, FmLimits, PartitionerConfig,
+    bipartition_hypergraph, fm_refine, BisectionTargets, FmLimits, Idx, PartitionerConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Naive recompute-from-scratch oracle for [`GainBuckets`]: per-gain LIFO
+/// stacks in a sorted map. `best()` is the top of the highest non-empty
+/// stack — exactly the LIFO-within-bucket, descending-gain contract the
+/// incremental structure promises.
+struct BucketOracle {
+    range: i64,
+    stacks: BTreeMap<i64, Vec<Idx>>,
+    gain: BTreeMap<Idx, i64>,
+}
+
+impl BucketOracle {
+    fn new(range: i64) -> Self {
+        BucketOracle {
+            range: range.max(0),
+            stacks: BTreeMap::new(),
+            gain: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, v: Idx, g: i64) {
+        let g = g.clamp(-self.range, self.range);
+        self.stacks.entry(g).or_default().push(v);
+        self.gain.insert(v, g);
+    }
+
+    fn remove(&mut self, v: Idx) {
+        let g = self.gain.remove(&v).expect("oracle: vertex stored");
+        let stack = self.stacks.get_mut(&g).unwrap();
+        stack.retain(|&u| u != v);
+        if stack.is_empty() {
+            self.stacks.remove(&g);
+        }
+    }
+
+    fn adjust(&mut self, v: Idx, delta: i64) {
+        let g = self.gain[&v] + delta;
+        self.remove(v);
+        self.insert(v, g);
+    }
+
+    fn max_gain(&self) -> Option<i64> {
+        self.stacks.keys().next_back().copied()
+    }
+
+    fn best(&self) -> Option<Idx> {
+        self.stacks.values().next_back().map(|s| *s.last().unwrap())
+    }
+}
 
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     mg_test_support::strategies::arb_hypergraph(2, 16, 1..4, 2..5, 1..14)
@@ -85,6 +136,106 @@ proptest! {
         let slack = (0..h.num_vertices()).map(|v| h.vertex_weight(v)).max().unwrap_or(0);
         prop_assert!(out.part_weights[0] <= budget[0] + slack);
         prop_assert!(out.part_weights[1] <= budget[1] + slack);
+    }
+
+    /// Random move sequences through the incremental gain buckets agree
+    /// with the naive recompute-from-scratch oracle at every step — stored
+    /// gains, max gain, unconstrained best, and predicate-filtered best.
+    #[test]
+    fn gainbuckets_match_naive_oracle(seed in 0u64..300, sparse in proptest::any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..24usize);
+        // Dense and sparse head storage must both satisfy the contract;
+        // gains stay within ±32 so clamping is identical across ranges.
+        let range: i64 = if sparse { (1 << 20) + 33 } else { 32 };
+        let mut b = GainBuckets::new(n, range);
+        let mut oracle = BucketOracle::new(range);
+        for _ in 0..rng.gen_range(1..120usize) {
+            let v = rng.gen_range(0..n) as Idx;
+            match rng.gen_range(0..4u32) {
+                0 | 1 => {
+                    if !b.contains(v) {
+                        let g = rng.gen_range(-32..33i32) as i64;
+                        b.insert(v, g);
+                        oracle.insert(v, g);
+                    } else {
+                        let d = rng.gen_range(-16..17i32) as i64;
+                        b.adjust(v, d);
+                        oracle.adjust(v, d);
+                    }
+                }
+                2 => {
+                    if b.contains(v) {
+                        b.remove(v);
+                        oracle.remove(v);
+                    }
+                }
+                _ => {
+                    if b.contains(v) {
+                        prop_assert_eq!(b.gain_of(v), oracle.gain[&v]);
+                    }
+                }
+            }
+            prop_assert_eq!(b.len(), oracle.gain.len());
+            prop_assert_eq!(b.max_gain(), oracle.max_gain());
+            prop_assert_eq!(b.best_where(|_| true, usize::MAX), oracle.best());
+            // Predicate-filtered scan: first even vertex in descending
+            // gain order, LIFO within a bucket.
+            let expect_even = oracle
+                .stacks
+                .values()
+                .rev()
+                .flat_map(|s| s.iter().rev())
+                .copied()
+                .find(|&u| u % 2 == 0);
+            prop_assert_eq!(b.best_where(|u| u % 2 == 0, usize::MAX), expect_even);
+        }
+    }
+
+    /// The CSR-flattened contraction round-trips against a nested
+    /// per-net-Vec reference: same vertices, weights, nets, and pin lists.
+    #[test]
+    fn flat_contract_round_trips_nested_reference(h in arb_hypergraph(), seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = h.num_vertices();
+        let num_clusters = rng.gen_range(1..=n);
+        let clustering = mg_partitioner::matching::Clustering {
+            cluster: (0..n).map(|_| rng.gen_range(0..num_clusters)).collect(),
+            num_clusters,
+        };
+        let fast = contract(&h, &clustering).coarse;
+
+        // Nested reference: per-net Vec pins, HashMap merge, sorted emit.
+        let mut weights = vec![0u64; num_clusters as usize];
+        for v in 0..n {
+            weights[clustering.cluster[v as usize] as usize] += h.vertex_weight(v);
+        }
+        let mut merged: std::collections::HashMap<Vec<Idx>, u64> =
+            std::collections::HashMap::new();
+        for (_, w, pins) in h.nets() {
+            let mut p: Vec<Idx> =
+                pins.iter().map(|&v| clustering.cluster[v as usize]).collect();
+            p.sort_unstable();
+            p.dedup();
+            if p.len() >= 2 {
+                *merged.entry(p).or_insert(0) += w;
+            }
+        }
+        let mut nets: Vec<(Vec<Idx>, u64)> = merged.into_iter().collect();
+        nets.sort_unstable();
+        let mut builder = mg_hypergraph::HypergraphBuilder::new(weights);
+        for (pins, w) in nets {
+            builder.add_net(w, pins);
+        }
+        let slow = builder.build();
+
+        prop_assert_eq!(fast.num_vertices(), slow.num_vertices());
+        prop_assert_eq!(fast.vertex_weights(), slow.vertex_weights());
+        prop_assert_eq!(fast.num_nets(), slow.num_nets());
+        for net in 0..fast.num_nets() {
+            prop_assert_eq!(fast.net_weight(net), slow.net_weight(net));
+            prop_assert_eq!(fast.net_pins(net), slow.net_pins(net));
+        }
     }
 
     /// Determinism: the same seed gives the same outcome.
