@@ -49,11 +49,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--validate",
     "--baseline",
     "--against",
-    // observability (serve / route / metrics):
+    // observability (serve / route / metrics / trace):
     "--metrics-addr",
     "--log-level",
     "--schema",
     "--input",
+    "--trace-slow-ms",
+    "--out",
 ];
 
 impl Parsed {

@@ -50,6 +50,7 @@ USAGE:
   mgpart request   [ADDR] [options]         build / send one service request
   mgpart bench     [options]                wire-path benchmark (BENCH trajectory)
   mgpart metrics   <ADDR> [--schema FILE]   scrape a --metrics-addr endpoint
+  mgpart trace     <ADDR>... [options]      scrape /trace endpoints (Perfetto JSON)
   mgpart help
 
 GLOBAL OPTIONS:
@@ -105,7 +106,13 @@ SERVE OPTIONS (protocol: crates/server/PROTOCOL.md):
                 (for shards behind mgpart route; omit to stay untagged)
   --metrics-addr HOST:PORT   serve a Prometheus-style text snapshot of the
                 metrics registry on a side TCP port (out-of-band: never
-                touches the protocol stream; scrape with `mgpart metrics`)
+                touches the protocol stream; scrape with `mgpart metrics`).
+                The same endpoint serves collected spans on its /trace
+                route (scrape with `mgpart trace`)
+  --trace-slow-ms N   slow-request trace sampler: record a trace for every
+                untraced partition request that takes at least N ms
+                (0 = every request). Explicitly traced requests are
+                always recorded; responses are byte-identical either way
 
 ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
   --shards LIST comma-separated shard specs [id=]host:port[*capacity];
@@ -131,6 +138,10 @@ ROUTE OPTIONS (semantics: crates/server/PROTOCOL.md, \"Routing\"):
   --metrics-addr HOST:PORT   same side-channel metrics endpoint as serve,
                       with the router families (dispatches, failovers,
                       probe transitions, replica liveness) always exposed
+  --trace-slow-ms N   same slow-request trace sampler as serve; sampled
+                      requests are forwarded with a propagated trace
+                      context, so shard-side spans land in the shards'
+                      own /trace collectors
 
 REQUEST OPTIONS:
   ADDR          server address; omit with --print to just emit the JSON line
@@ -150,6 +161,9 @@ REQUEST OPTIONS:
                 connection but never answers yields a typed
                 request_timeout error line and a nonzero exit
                 (default: wait forever)
+  --trace       stamp a fresh trace context onto a partition request (the
+                trace id is logged to stderr); scrape the server's /trace
+                route afterwards to collect the spans
   --print       print the request line instead of sending it
 
 BENCH OPTIONS (schema: mgpart-bench/v1; trajectory files: BENCH_<n>.json):
@@ -179,6 +193,17 @@ METRICS OPTIONS (schema: crates/obs/metrics.schema):
   --input FILE  validate a saved exposition snapshot instead of scraping
   --schema FILE also validate the snapshot: every family and sample must
                 match the declared names/kinds; nonzero exit on mismatch
+
+TRACE OPTIONS:
+  ADDR...       one or more --metrics-addr endpoints; their /trace routes
+                are scraped and merged into one Chrome-trace-event
+                document (each endpoint becomes its own pid/process
+                track), printed to stdout. Load it at ui.perfetto.dev or
+                chrome://tracing.
+  --out FILE    write the merged document to FILE instead of stdout
+  --report      also render a human-readable summary to stdout: the span
+                tree per trace, request-latency p50/p99, and per-phase
+                time shares (the paper's Fig. 5 breakdown)
 
 GENERATE FAMILIES:
   laplace2d [k]   5-point Laplacian on a k×k grid      (default k = 64)
@@ -249,6 +274,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "request" => request(&Parsed::parse(&argv[1..])?),
         "bench" => bench::bench(&Parsed::parse(&argv[1..])?),
         "metrics" => metrics(&Parsed::parse(&argv[1..])?),
+        "trace" => trace_cmd(&Parsed::parse(&argv[1..])?),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -543,6 +569,215 @@ fn metrics(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `mgpart trace`: scrapes one or more `/trace` routes and merges them
+/// into a single Chrome-trace-event document — each endpoint becomes
+/// its own pid, so one Perfetto timeline shows router and shard spans
+/// of the same trace id side by side.
+fn trace_cmd(parsed: &Parsed) -> Result<(), String> {
+    let mut addrs: Vec<String> = Vec::new();
+    while let Ok(addr) = parsed.positional(addrs.len(), "") {
+        addrs.push(addr.clone());
+    }
+    if addrs.is_empty() {
+        return Err("trace needs at least one --metrics-addr endpoint (HOST:PORT)".into());
+    }
+    let mut docs = Vec::new();
+    for addr in &addrs {
+        let text = mg_obs::scrape_trace(addr).map_err(|e| format!("scraping {addr}: {e}"))?;
+        let doc =
+            Json::parse(text.trim()).map_err(|e| format!("trace document from {addr}: {e}"))?;
+        docs.push(doc);
+    }
+    let merged = merge_trace_docs(&docs)?;
+    let mut rendered = String::new();
+    merged.write(&mut rendered);
+    rendered.push('\n');
+    let report = parsed.has("--report");
+    match parsed.flag_opt("--out") {
+        Some(path) => {
+            std::fs::write(&path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            mg_obs::log::info(
+                "trace_written",
+                &[
+                    ("path", path.as_str().into()),
+                    ("endpoints", addrs.len().into()),
+                ],
+            );
+        }
+        // With --report the JSON goes to stdout only when asked for via
+        // --out; the report is the primary output.
+        None if !report => print!("{rendered}"),
+        None => {}
+    }
+    if report {
+        print!("{}", render_trace_report(&merged));
+    }
+    Ok(())
+}
+
+/// Concatenates scraped trace documents, remapping each source onto its
+/// own pid (1-based, in address order) so process tracks stay distinct.
+fn merge_trace_docs(docs: &[Json]) -> Result<Json, String> {
+    let mut events: Vec<Json> = Vec::new();
+    for (source, doc) in docs.iter().enumerate() {
+        let pid = source as u64 + 1;
+        let list = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("endpoint #{} returned no traceEvents array", source + 1))?;
+        for event in list {
+            let Json::Obj(fields) = event else { continue };
+            let mut fields = fields.clone();
+            for (name, value) in &mut fields {
+                if name == "pid" {
+                    *value = Json::UInt(pid);
+                }
+            }
+            events.push(Json::Obj(fields));
+        }
+    }
+    Ok(obj(vec![
+        ("displayTimeUnit", Json::Str("ms".into())),
+        ("traceEvents", Json::Arr(events)),
+    ]))
+}
+
+/// One complete (`ph:"X"`) span event of a merged trace document.
+struct TraceEvent<'a> {
+    name: &'a str,
+    pid: u64,
+    ts: u64,
+    dur: u64,
+    trace: &'a str,
+    span: &'a str,
+    parent: Option<&'a str>,
+}
+
+/// Renders the human-readable `--report` view: per-trace span trees
+/// (process-tagged), request-latency quantiles, and the per-phase time
+/// shares of the paper's Fig. 5 breakdown.
+fn render_trace_report(doc: &Json) -> String {
+    use std::collections::BTreeMap;
+    let empty = [];
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    // pid -> process name, from the metadata events.
+    let mut processes: BTreeMap<u64, &str> = BTreeMap::new();
+    let mut spans: Vec<TraceEvent> = Vec::new();
+    for event in events {
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("");
+        let pid = event.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        match event.get("ph").and_then(Json::as_str) {
+            Some("M") if name == "process_name" => {
+                if let Some(process) = event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    processes.insert(pid, process);
+                }
+            }
+            Some("X") => {
+                let args = event.get("args");
+                let field = |key| args.and_then(|a| a.get(key)).and_then(Json::as_str);
+                let (Some(trace), Some(span)) = (field("trace"), field("span")) else {
+                    continue;
+                };
+                spans.push(TraceEvent {
+                    name,
+                    pid,
+                    ts: event.get("ts").and_then(Json::as_u64).unwrap_or(0),
+                    dur: event.get("dur").and_then(Json::as_u64).unwrap_or(0),
+                    trace,
+                    span,
+                    parent: field("parent"),
+                });
+            }
+            _ => {}
+        }
+    }
+    let mut by_trace: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (at, span) in spans.iter().enumerate() {
+        by_trace.entry(span.trace).or_default().push(at);
+    }
+    let ms = |us: u64| us as f64 / 1000.0;
+    let mut out = String::new();
+    let mut request_durs: Vec<u64> = Vec::new();
+    let mut phase_totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for (trace, members) in &by_trace {
+        out.push_str(&format!("trace {trace} ({} spans)\n", members.len()));
+        let ids: std::collections::BTreeSet<&str> =
+            members.iter().map(|&at| spans[at].span).collect();
+        // Roots: spans whose parent is outside this document (or absent).
+        let mut children: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for &at in members {
+            match spans[at].parent.filter(|p| ids.contains(p)) {
+                Some(parent) => children.entry(parent).or_default().push(at),
+                None => roots.push(at),
+            }
+        }
+        let order = |list: &mut Vec<usize>| {
+            list.sort_by_key(|&at| (spans[at].ts, spans[at].span.to_string()));
+        };
+        order(&mut roots);
+        for list in children.values_mut() {
+            order(list);
+        }
+        // Depth-first tree render with an explicit stack.
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&at| (at, 1)).collect();
+        while let Some((at, depth)) = stack.pop() {
+            let span = &spans[at];
+            let process = processes.get(&span.pid).copied().unwrap_or("?");
+            out.push_str(&format!(
+                "{}[{process}] {} {:.3}ms\n",
+                "  ".repeat(depth),
+                span.name,
+                ms(span.dur),
+            ));
+            if let Some(kids) = children.get(span.span) {
+                for &kid in kids.iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+            if span.name == "request" && span.parent.filter(|p| ids.contains(p)).is_none() {
+                request_durs.push(span.dur);
+            }
+            if mg_obs::PHASES.contains(&span.name) {
+                *phase_totals.entry(span.name).or_default() += span.dur;
+            }
+        }
+    }
+    if !request_durs.is_empty() {
+        request_durs.sort_unstable();
+        let quantile = |q: f64| {
+            let at = ((request_durs.len() - 1) as f64 * q).round() as usize;
+            ms(request_durs[at])
+        };
+        out.push_str(&format!(
+            "requests: n={}, p50={:.3}ms, p99={:.3}ms\n",
+            request_durs.len(),
+            quantile(0.50),
+            quantile(0.99),
+        ));
+    }
+    let phase_sum: u64 = phase_totals.values().sum();
+    if phase_sum > 0 {
+        out.push_str("phase shares:");
+        for phase in mg_obs::PHASES {
+            let total = phase_totals.get(phase).copied().unwrap_or(0);
+            out.push_str(&format!(
+                " {phase} {:.1}%",
+                total as f64 * 100.0 / phase_sum as f64
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 fn serve(parsed: &Parsed) -> Result<(), String> {
     let config = ServiceConfig {
         threads: parsed.flag_parse("--threads", 0usize)?,
@@ -557,7 +792,15 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
         },
         timing: parsed.has("--timing"),
         shard_id: parsed.flag_opt("--shard-id"),
+        trace_slow: trace_slow_flag(parsed)?,
     };
+    // Name this process's track in exported traces: shards show up as
+    // their topology id, a standalone server as "server".
+    let process = match &config.shard_id {
+        Some(id) => format!("shard:{id}"),
+        None => "server".to_string(),
+    };
+    mg_obs::trace::collector().set_process(&process);
     // Bound before the protocol transport and held to the end of the
     // run: scrapes work from the first request to the post-drain state.
     let _metrics = metrics_endpoint(parsed)?;
@@ -592,6 +835,19 @@ fn serve(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--trace-slow-ms` sampler threshold (milliseconds; 0 =
+/// trace everything).
+fn trace_slow_flag(parsed: &Parsed) -> Result<Option<std::time::Duration>, String> {
+    Ok(parsed
+        .flag_opt("--trace-slow-ms")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|e| format!("bad value for --trace-slow-ms: {e}"))
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis))
+}
+
 /// Parses a duration flag given in (fractional) seconds.
 fn seconds_flag(parsed: &Parsed, name: &str) -> Result<Option<std::time::Duration>, String> {
     let Some(raw) = parsed.flag_opt(name) else {
@@ -621,9 +877,11 @@ fn route(parsed: &Parsed) -> Result<(), String> {
         replicas: parsed.flag_parse("--replicas", 1usize)?,
         probe_interval,
         read_deadline: seconds_flag(parsed, "--read-deadline")?,
+        trace_slow: trace_slow_flag(parsed)?,
         ..RouterConfig::default()
     };
     let shard_count = topology.len();
+    mg_obs::trace::collector().set_process("router");
     let _metrics = metrics_endpoint(parsed)?;
     let router = Router::new(topology, config)?;
     // Startup barrier: a mistyped shard address fails here, not on the
@@ -719,6 +977,16 @@ fn request(parsed: &Parsed) -> Result<(), String> {
             }
             if parsed.has("--include-partition") {
                 fields.push(("include_partition", Json::Bool(true)));
+            }
+            if parsed.has("--trace") {
+                // A fresh root context: the receiving server (or router)
+                // opens its `request` span as the trace's root. The id
+                // goes to stderr so scripts can find the trace in a
+                // later `/trace` scrape.
+                let trace_id = mg_obs::trace::next_trace_id();
+                let hex = mg_obs::trace::trace_id_hex(trace_id);
+                fields.push(("trace", obj(vec![("id", Json::Str(hex.clone()))])));
+                mg_obs::log::info("trace_stamped", &[("trace", hex.as_str().into())]);
             }
         }
         "ping" | "stats" | "shutdown" => {

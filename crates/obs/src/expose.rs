@@ -8,6 +8,7 @@
 //! golden responses.
 
 use crate::metrics::registry;
+use crate::trace;
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -68,9 +69,10 @@ fn serve_loop(listener: &TcpListener, shutdown: &Arc<AtomicBool>) {
     }
 }
 
-/// Reads (and discards) the request head, then writes one snapshot.
-/// Any HTTP request — or none at all, from a bare `nc` — gets the same
-/// answer; the endpoint has exactly one resource.
+/// Reads the request head and answers by path: `/trace` serves the
+/// trace collector as Chrome-trace-event JSON, everything else —
+/// including no request at all, from a bare `nc` — gets the metrics
+/// snapshot, which stays the default resource.
 fn answer(mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut head = Vec::new();
@@ -94,9 +96,14 @@ fn answer(mut stream: TcpStream) -> std::io::Result<()> {
             Err(e) => return Err(e),
         }
     }
-    let body = registry().render();
+    let (body, content_type) = if request_path(&head).is_some_and(|p| p == "/trace") {
+        (trace::collector().export_json(), "application/json")
+    } else {
+        (registry().render(), "text/plain; version=0.0.4")
+    };
     let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        content_type,
         body.len(),
         body
     );
@@ -104,11 +111,19 @@ fn answer(mut stream: TcpStream) -> std::io::Result<()> {
     stream.flush()
 }
 
-/// Scrapes `addr` and returns the exposition body (headers stripped).
-pub fn scrape(addr: &str) -> std::io::Result<String> {
+/// The path token of the request line (`GET /trace HTTP/1.0` → `/trace`).
+fn request_path(head: &[u8]) -> Option<&str> {
+    let text = std::str::from_utf8(head).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    parts.next()
+}
+
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: mgpart\r\n\r\n")?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: mgpart\r\n\r\n").as_bytes())?;
     let mut text = String::new();
     stream.read_to_string(&mut text)?;
     let body = match text.split_once("\r\n\r\n") {
@@ -116,6 +131,16 @@ pub fn scrape(addr: &str) -> std::io::Result<String> {
         None => text.as_str(),
     };
     Ok(body.to_string())
+}
+
+/// Scrapes `addr` and returns the exposition body (headers stripped).
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    http_get(addr, "/metrics")
+}
+
+/// Fetches `addr`'s `/trace` route: the collector's Perfetto JSON.
+pub fn scrape_trace(addr: &str) -> std::io::Result<String> {
+    http_get(addr, "/trace")
 }
 
 /// Parses a metrics schema file: one `name kind` pair per line, `#`
@@ -253,6 +278,31 @@ mod tests {
     fn bad_value_is_rejected() {
         let err = validate_exposition("t_x_total many\n", &schema()).unwrap_err();
         assert!(err.contains("unparsable"), "{err}");
+    }
+
+    #[test]
+    fn trace_route_serves_collector_json() {
+        let ctx = trace::TraceContext::new_root();
+        trace::record_span(
+            ctx.trace_id,
+            ctx.span_id,
+            None,
+            "route",
+            7,
+            Duration::from_micros(3),
+        );
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr.to_string();
+        let body = scrape_trace(&addr).unwrap();
+        assert!(body.contains("\"traceEvents\""), "trace body: {body}");
+        assert!(
+            body.contains(&trace::trace_id_hex(ctx.trace_id)),
+            "trace body misses the recorded span: {body}"
+        );
+        // The default resource is still the metrics snapshot.
+        let metrics = scrape(&addr).unwrap();
+        assert!(!metrics.contains("traceEvents"), "metrics body: {metrics}");
+        drop(server);
     }
 
     #[test]

@@ -17,13 +17,20 @@
 //! [`span`] ties 1 and 2 together: phase timers record into the
 //! `mgpart_phase_seconds` histogram (the paper's Fig. 5 phases), and
 //! spans emit start/end events carrying session/request/shard ids.
+//!
+//! [`trace`] adds per-request distributed tracing on the same
+//! out-of-band rules: propagated 128-bit trace contexts, a bounded
+//! ring-buffer collector, and Perfetto-loadable JSON served on the
+//! exposition endpoint's `/trace` route.
 
 pub mod expose;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
-pub use expose::{parse_schema, scrape, validate_exposition, MetricsServer};
+pub use expose::{parse_schema, scrape, scrape_trace, validate_exposition, MetricsServer};
 pub use log::{Level, Value};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
 pub use span::{phase, phase_stats, PhaseTimer, Span, PHASES, PHASE_BOUNDS};
+pub use trace::{TraceCollector, TraceContext, WireTrace};

@@ -4,6 +4,7 @@
 
 use crate::log::{self, Level, Value};
 use crate::metrics::{registry, Histogram};
+use crate::trace::{self, TraceContext};
 use std::time::Instant;
 
 /// The partitioner's phases, mirroring the paper's Fig. 5 breakdown:
@@ -29,6 +30,8 @@ pub const PHASE_METRIC: &str = "mgpart_phase_seconds";
 pub fn phase(name: &'static str) -> PhaseTimer {
     PhaseTimer {
         histogram: registry().histogram(PHASE_METRIC, &[("phase", name)], PHASE_BOUNDS),
+        name,
+        trace: trace::current().map(|ctx| (ctx, trace::now_us())),
         start: Instant::now(),
     }
 }
@@ -40,15 +43,24 @@ pub fn phase_stats(name: &str) -> (u64, f64) {
     (h.count(), h.sum_seconds())
 }
 
-/// A running phase timer; records on drop.
+/// A running phase timer; records on drop. When a trace context is
+/// installed on the opening thread, the drop also records a child span
+/// named after the phase, so one traced request shows its FM
+/// refinement (etc.) nested under the engine's `execute` span.
 pub struct PhaseTimer {
     histogram: Histogram,
+    name: &'static str,
+    trace: Option<(TraceContext, u64)>,
     start: Instant,
 }
 
 impl Drop for PhaseTimer {
     fn drop(&mut self) {
-        self.histogram.observe(self.start.elapsed().as_secs_f64());
+        let elapsed = self.start.elapsed();
+        self.histogram.observe(elapsed.as_secs_f64());
+        if let Some((ctx, start_us)) = self.trace {
+            trace::record_child(&ctx, self.name, start_us, elapsed);
+        }
     }
 }
 
@@ -57,18 +69,22 @@ impl Drop for PhaseTimer {
 /// typically session/request/shard ids.
 pub struct Span {
     name: &'static str,
-    fields: Vec<(&'static str, Value)>,
+    /// `Some` only when `debug` was enabled at open time; `None` spans
+    /// skip the end event too, keeping the disabled path allocation-free.
+    fields: Option<Vec<(&'static str, Value)>>,
     start: Instant,
 }
 
-/// Opens a span. Cheap when `debug` is disabled: the start event is
-/// skipped and only an `Instant` is kept.
-pub fn span(name: &'static str, fields: Vec<(&'static str, Value)>) -> Span {
-    if log::enabled(Level::Debug) {
+/// Opens a span. The field vector is built lazily, so when `debug` is
+/// disabled a span costs only an `Instant` — no allocation, no clone.
+pub fn span(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Value)>) -> Span {
+    let fields = log::enabled(Level::Debug).then(|| {
+        let fields = fields();
         let mut start_fields = fields.clone();
         start_fields.push(("span", Value::Str("start".to_string())));
         log::debug(name, &start_fields);
-    }
+        fields
+    });
     Span {
         name,
         fields,
@@ -78,9 +94,9 @@ pub fn span(name: &'static str, fields: Vec<(&'static str, Value)>) -> Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if log::enabled(Level::Debug) {
+        if let Some(fields) = self.fields.take() {
             let elapsed_ms = self.start.elapsed().as_secs_f64() * 1e3;
-            let mut end_fields = std::mem::take(&mut self.fields);
+            let mut end_fields = fields;
             end_fields.push(("span", Value::Str("end".to_string())));
             end_fields.push(("elapsed_ms", Value::F64(elapsed_ms)));
             log::debug(self.name, &end_fields);
@@ -104,8 +120,26 @@ mod tests {
 
     #[test]
     fn span_drop_is_quiet_at_default_level() {
-        // Default level is info, so this exercises only the cheap path.
-        let s = span("test_span", vec![("session", 1u64.into())]);
+        // Default level is info, so this exercises only the cheap path:
+        // the closure must never run and no field vector is built.
+        let s = span("test_span", || {
+            panic!("fields must stay lazy when debug is disabled")
+        });
         drop(s);
+    }
+
+    #[test]
+    fn phase_timer_records_trace_child_span_when_context_active() {
+        let ctx = trace::TraceContext::new_root();
+        {
+            let _g = trace::enter(ctx);
+            let _t = phase("volume_count");
+        }
+        let (_, spans) = trace::collector().snapshot();
+        let child = spans
+            .iter()
+            .find(|s| s.trace_id == ctx.trace_id && s.name == "volume_count")
+            .expect("phase drop records a child span under the active trace");
+        assert_eq!(child.parent_id, Some(ctx.span_id));
     }
 }

@@ -7,7 +7,7 @@
 //! `failovers`/`dead`/`replicas` state unconditionally, so healthy-run
 //! failover counts are observable.
 
-use mg_obs::{registry, Counter, Gauge};
+use mg_obs::{registry, Counter, Gauge, Histogram, PHASE_BOUNDS};
 use std::sync::OnceLock;
 
 pub(crate) struct RouterMetrics {
@@ -45,6 +45,18 @@ pub(crate) fn router_metrics() -> &'static RouterMetrics {
 /// Per-shard dispatch counter (`shard=` is the topology id).
 pub(crate) fn dispatch_counter(shard_id: &str) -> Counter {
     registry().counter("mgpart_router_dispatches_total", &[("shard", shard_id)])
+}
+
+/// End-to-end routed-request latency by resolving shard, decode through
+/// delivery (`shard="router"` for requests answered from the router's
+/// own cache). Shares the phase bucket ladder so router, shard, and
+/// phase latencies read on one scale.
+pub(crate) fn router_request_seconds(shard_id: &str) -> Histogram {
+    registry().histogram(
+        "mgpart_router_request_seconds",
+        &[("shard", shard_id)],
+        PHASE_BOUNDS,
+    )
 }
 
 /// Records a probe/health state transition for one shard: bumps the

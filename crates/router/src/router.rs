@@ -47,11 +47,13 @@
 use crate::cache::{cached_true_of, with_id, RouterKey};
 use crate::config::Topology;
 use crate::metrics::{
-    dispatch_counter, health_transition, router_metrics, set_replicas, set_shard_alive,
+    dispatch_counter, health_transition, router_metrics, router_request_seconds, set_replicas,
+    set_shard_alive,
 };
 use crate::placement::place_replicas;
 use mg_core::service::{placement_key, ErrorCode, RequestOp};
 use mg_core::{parse_backend, DEFAULT_BACKEND};
+use mg_obs::trace::{self, TraceContext};
 use mg_server::codec::{self, UnitKind, UnitScanner, WireCodec};
 use mg_server::json::obj;
 use mg_server::{protocol, Json, LruCache};
@@ -107,6 +109,12 @@ pub struct RouterConfig {
     /// preserving historical behaviour. Set it above the worst-case job
     /// latency of the workload. Also bounds each probe's response wait.
     pub read_deadline: Option<Duration>,
+    /// Slow-request trace sampler: an untraced partition request gets a
+    /// speculative trace, kept only when its end-to-end latency reaches
+    /// this threshold (`Duration::ZERO` keeps every request). `None`
+    /// (the default) disables the sampler; explicitly traced requests
+    /// are always recorded regardless.
+    pub trace_slow: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -121,6 +129,7 @@ impl Default for RouterConfig {
             replicas: 1,
             probe_interval: Duration::from_millis(500),
             read_deadline: None,
+            trace_slow: None,
         }
     }
 }
@@ -531,11 +540,43 @@ fn probe_once(core: &RouterCore, shard: usize, slot: &mut Option<BufReader<TcpSt
     alive
 }
 
+/// Trace state of one routed request: the router's root `request` span
+/// context plus the sampler verdict flag. Carried from decode to the
+/// delivery (or failure) that closes the root span.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    /// The router-side root span: `span_id` is the `request` span,
+    /// `parent_id` the client's span when the request arrived traced.
+    ctx: TraceContext,
+    /// Opened by the slow-request sampler; committed or discarded
+    /// against [`RouterConfig::trace_slow`] when the request resolves.
+    speculative: bool,
+    /// UNIX-epoch µs at decode — the root span's start timestamp.
+    start_us: u64,
+    /// Monotonic decode instant — the root span's duration clock.
+    started: Instant,
+}
+
+/// One dispatch leg of a traced entry: the span covering
+/// enqueue-on-a-connection through delivery. Failover opens a fresh leg
+/// parented under its `failover_replay` span.
+#[derive(Clone, Copy)]
+struct EntryTrace {
+    req: ReqTrace,
+    /// Pre-allocated `dispatch` span id — stamped into the forwarded
+    /// line so shard-side spans parent under this leg.
+    dispatch_span: u64,
+    dispatch_parent: u64,
+    dispatch_us: u64,
+    dispatch_at: Instant,
+}
+
 /// One forwarded-but-unanswered request.
 struct PendingEntry {
     /// Session submission index (the response slot to fill).
     index: u64,
-    /// The original request line, byte-for-byte — what a replay resends.
+    /// The request line a replay resends: the original bytes, except
+    /// that traced entries carry the router's propagated `trace` field.
     raw: String,
     /// Router-cache key for cacheable (partition) requests.
     key: Option<RouterKey>,
@@ -549,6 +590,76 @@ struct PendingEntry {
     /// When the entry was (re)written to the current connection; the
     /// read-deadline clock.
     enqueued: Instant,
+    /// When the session admitted the entry; the latency-histogram clock.
+    started: Instant,
+    /// Trace state, present when the request is explicitly traced or
+    /// the slow-request sampler is on.
+    trace: Option<EntryTrace>,
+}
+
+/// Returns `raw` with its top-level `"trace"` field inserted or
+/// replaced by the router's propagation context, so shard-side spans
+/// parent under the router's `dispatch` leg. Falls back to the
+/// unstamped line if `raw` fails to re-parse (the shard then records a
+/// trace rooted at the client's context, or none at all).
+fn stamp_trace(raw: &str, trace_id: u128, parent: u64) -> String {
+    let Ok(mut doc) = Json::parse(raw) else {
+        return raw.to_string();
+    };
+    let Json::Obj(fields) = &mut doc else {
+        return raw.to_string();
+    };
+    let stamped = obj(vec![
+        ("id", Json::Str(trace::trace_id_hex(trace_id))),
+        ("parent", Json::Str(trace::span_id_hex(parent))),
+    ]);
+    match fields.iter_mut().find(|(k, _)| k == "trace") {
+        Some((_, v)) => *v = stamped,
+        None => fields.push(("trace".into(), stamped)),
+    }
+    doc.to_string()
+}
+
+/// Closes a routed request's root `request` span and settles the
+/// sampler verdict: a speculative trace survives only when the request
+/// took at least [`RouterConfig::trace_slow`].
+fn close_req_trace(core: &RouterCore, rt: &ReqTrace) {
+    let total = rt.started.elapsed();
+    trace::record_span(
+        rt.ctx.trace_id,
+        rt.ctx.span_id,
+        rt.ctx.parent_id,
+        "request",
+        rt.start_us,
+        total,
+    );
+    if rt.speculative {
+        if core
+            .config
+            .trace_slow
+            .is_some_and(|threshold| total >= threshold)
+        {
+            trace::collector().commit(rt.ctx.trace_id);
+        } else {
+            trace::collector().discard(rt.ctx.trace_id);
+        }
+    }
+}
+
+/// Records the current `dispatch` leg of a traced entry — called
+/// exactly once per leg, where the leg ends (delivery, connection
+/// death, or reader failure).
+fn record_entry_dispatch(entry: &PendingEntry) {
+    if let Some(t) = &entry.trace {
+        trace::record_span(
+            t.req.ctx.trace_id,
+            t.dispatch_span,
+            Some(t.dispatch_parent),
+            "dispatch",
+            t.dispatch_us,
+            t.dispatch_at.elapsed(),
+        );
+    }
 }
 
 /// State shared between a session and one shard-connection reader thread.
@@ -901,6 +1012,9 @@ impl SessionState {
     /// Replays one orphaned entry on the best remaining replica, walking
     /// down the ranking as candidates fail.
     fn dispatch_failover(self: &Arc<Self>, mut entry: PendingEntry, mut last_shard: usize) {
+        // The leg on the dead connection ends here, whatever happens to
+        // the entry next.
+        record_entry_dispatch(&entry);
         loop {
             let Some(next) = next_candidate(&self.core, &mut entry.fallbacks) else {
                 self.fail_entry(entry, last_shard);
@@ -908,8 +1022,39 @@ impl SessionState {
             };
             let from = last_shard;
             last_shard = next;
+            // A traced replay rides under a `failover_replay` span: a
+            // fresh dispatch leg parented to it, restamped into the
+            // resent line so the surviving shard's spans link back
+            // through the replay.
+            let replay = if let Some(t) = entry.trace {
+                let span = t.req.ctx.child();
+                let replay_at = Instant::now();
+                let replay_us = trace::now_us();
+                let leg = EntryTrace {
+                    req: t.req,
+                    dispatch_span: trace::next_span_id(),
+                    dispatch_parent: span.span_id,
+                    dispatch_us: replay_us,
+                    dispatch_at: replay_at,
+                };
+                entry.raw = stamp_trace(&entry.raw, t.req.ctx.trace_id, leg.dispatch_span);
+                entry.trace = Some(leg);
+                Some((span, replay_us, replay_at))
+            } else {
+                None
+            };
             match self.replay_entry(next, entry) {
                 Ok(()) => {
+                    if let Some((span, start_us, at)) = replay {
+                        trace::record_span(
+                            span.trace_id,
+                            span.span_id,
+                            span.parent_id,
+                            "failover_replay",
+                            start_us,
+                            at.elapsed(),
+                        );
+                    }
                     self.core.failovers.fetch_add(1, Ordering::SeqCst);
                     router_metrics().failovers.inc();
                     mg_obs::log::warn(
@@ -983,6 +1128,12 @@ impl SessionState {
             ),
             Some(&spec.id),
         );
+        // The current leg was already recorded by `dispatch_failover`;
+        // only the root span and the sampler verdict remain.
+        if let Some(t) = &entry.trace {
+            close_req_trace(&self.core, &t.req);
+        }
+        router_request_seconds(&spec.id).observe(entry.started.elapsed().as_secs_f64());
         // Decrement before resolving, as in `deliver_response`.
         self.slots.outstanding.fetch_sub(1, Ordering::SeqCst);
         router_metrics().pending.dec();
@@ -1006,6 +1157,11 @@ impl SessionState {
                 &format!("router worker for shard {:?} failed; request lost", spec.id),
                 Some(&spec.id),
             );
+            record_entry_dispatch(&entry);
+            if let Some(t) = &entry.trace {
+                close_req_trace(&self.core, &t.req);
+            }
+            router_request_seconds(&spec.id).observe(entry.started.elapsed().as_secs_f64());
             // Decrement before resolving, as in `deliver_response`.
             self.slots.outstanding.fetch_sub(1, Ordering::SeqCst);
             router_metrics().pending.dec();
@@ -1114,7 +1270,7 @@ fn reader_loop(session: &Arc<SessionState>, shard: usize, conn: &Arc<ConnShared>
                         .trim_end_matches(['\r', '\n'])
                         .to_string();
                     buf.clear();
-                    deliver_response(core, conn, &session.slots, &line);
+                    deliver_response(core, shard, conn, &session.slots, &line);
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -1133,8 +1289,15 @@ fn reader_loop(session: &Arc<SessionState>, shard: usize, conn: &Arc<ConnShared>
 
 /// Matches one shard response line with the oldest pending request:
 /// stores cacheable successes in the router cache (as their
-/// `cached: true` variant) and resolves the session slot.
-fn deliver_response(core: &RouterCore, conn: &ConnShared, slots: &RouterShared, line: &str) {
+/// `cached: true` variant), closes the entry's trace spans, observes
+/// the per-shard latency histogram, and resolves the session slot.
+fn deliver_response(
+    core: &RouterCore,
+    shard: usize,
+    conn: &ConnShared,
+    slots: &RouterShared,
+    line: &str,
+) {
     let entry = {
         let mut pending = lock_ok(&conn.pending);
         let entry = pending.pop_front();
@@ -1167,6 +1330,12 @@ fn deliver_response(core: &RouterCore, conn: &ConnShared, slots: &RouterShared, 
             }
         }
     }
+    record_entry_dispatch(&entry);
+    if let Some(t) = &entry.trace {
+        close_req_trace(core, &t.req);
+    }
+    router_request_seconds(&core.topology.shards()[shard].id)
+        .observe(entry.started.elapsed().as_secs_f64());
     // Decrement *before* resolving the slot: the writer samples
     // `outstanding` when it renders a `stats` slot, which it can only
     // reach after every preceding slot resolved — so decrementing first
@@ -1315,7 +1484,9 @@ impl RouterSessionDriver {
                     Ok(request) => {
                         let line = codec::request_json_line(&request);
                         let spec = request.spec.expect("partition requests carry a spec");
-                        self.route_partition(index, &line, request.id, spec);
+                        // Binary frames carry no trace field; the slow
+                        // sampler may still open one inside.
+                        self.route_partition(index, &line, request.id, spec, request.trace);
                         true
                     }
                     Err(e) => {
@@ -1400,7 +1571,7 @@ impl RouterSessionDriver {
             }
             RequestOp::Partition => {
                 let spec = request.spec.expect("partition requests carry a spec");
-                self.route_partition(index, line, request.id, spec);
+                self.route_partition(index, line, request.id, spec, request.trace);
                 true
             }
         }
@@ -1445,7 +1616,16 @@ impl RouterSessionDriver {
                 );
             }
             Some(name) => match self.core().topology.index_of(&name) {
-                Some(shard) => self.forward(index, vec![shard], raw, None, &id),
+                Some(shard) => self.forward(
+                    &ForwardReq {
+                        index,
+                        raw,
+                        key: None,
+                        id: &id,
+                        rt: None,
+                    },
+                    vec![shard],
+                ),
                 None => {
                     let message = format!(
                         "no shard named {name:?} in the topology ({})",
@@ -1463,13 +1643,42 @@ impl RouterSessionDriver {
         }
     }
 
+    /// Opens the trace for one partition request: the router's root
+    /// `request` span, parented under the client's context when the
+    /// request arrived traced, or a speculative sampler trace when
+    /// [`RouterConfig::trace_slow`] is set.
+    fn begin_trace(&self, wire: Option<mg_obs::WireTrace>, started: Instant) -> Option<ReqTrace> {
+        let start_us = trace::now_us();
+        match wire {
+            Some(w) => Some(ReqTrace {
+                ctx: TraceContext {
+                    trace_id: w.trace_id,
+                    span_id: trace::next_span_id(),
+                    parent_id: w.parent,
+                },
+                speculative: false,
+                start_us,
+                started,
+            }),
+            None => self.core().config.trace_slow.map(|_| ReqTrace {
+                ctx: trace::collector().begin_speculative(),
+                speculative: true,
+                start_us,
+                started,
+            }),
+        }
+    }
+
     fn route_partition(
         &mut self,
         index: u64,
         raw: &str,
         id: Json,
         spec: mg_core::service::PartitionSpec,
+        wire: Option<mg_obs::WireTrace>,
     ) {
+        let started = Instant::now();
+        let rt = self.begin_trace(wire, started);
         if self.core().shutdown.load(Ordering::SeqCst) {
             self.local_error(
                 index,
@@ -1478,15 +1687,24 @@ impl RouterSessionDriver {
                 "router is draining; request rejected",
                 None,
             );
+            if let Some(rt) = &rt {
+                close_req_trace(self.core(), rt);
+            }
             return;
         }
         let placement = match placement_key(&spec.matrix) {
             Ok(placement) => placement,
             Err((code, message)) => {
                 self.local_error(index, &id, code, &message, None);
+                if let Some(rt) = &rt {
+                    close_req_trace(self.core(), rt);
+                }
                 return;
             }
         };
+        // The `route` span covers the synchronous routing decision:
+        // placement, cache lookup, replica ranking.
+        let route_span = rt.as_ref().map(|rt| rt.ctx.child());
         let key: RouterKey = (
             placement.key,
             spec.method,
@@ -1495,11 +1713,30 @@ impl RouterSessionDriver {
             spec.seed,
             spec.include_partition,
         );
-        if let Some(stored) = self.core().cache_get(&key) {
+        let lookup_us = trace::now_us();
+        let lookup_at = Instant::now();
+        let stored = self.core().cache_get(&key);
+        if let Some(rs) = &route_span {
+            trace::record_child(rs, "cache_lookup", lookup_us, lookup_at.elapsed());
+        }
+        if let Some(stored) = stored {
             if let Some(line) = with_id(&stored, &id) {
                 self.summary.cache_hits += 1;
                 router_metrics().cache_hits.inc();
                 self.session.slots.set_line(index, line, true, false);
+                if let Some(rt) = &rt {
+                    let rs = route_span.expect("route span exists whenever rt does");
+                    trace::record_span(
+                        rs.trace_id,
+                        rs.span_id,
+                        rs.parent_id,
+                        "route",
+                        rt.start_us,
+                        rt.started.elapsed(),
+                    );
+                    close_req_trace(self.core(), rt);
+                }
+                router_request_seconds("router").observe(started.elapsed().as_secs_f64());
                 return;
             }
         }
@@ -1518,28 +1755,44 @@ impl RouterSessionDriver {
             heavy,
             replicas,
         );
-        self.forward(index, ranked, raw, Some(key), &id);
+        // Close `route` before the forward: the dispatch leg owns the
+        // enqueue-through-delivery window, and a speculative trace may
+        // be settled by the reader the moment the write lands.
+        if let Some(rt) = &rt {
+            let rs = route_span.expect("route span exists whenever rt does");
+            trace::record_span(
+                rs.trace_id,
+                rs.span_id,
+                rs.parent_id,
+                "route",
+                rt.start_us,
+                rt.started.elapsed(),
+            );
+        }
+        self.forward(
+            &ForwardReq {
+                index,
+                raw,
+                key: Some(key),
+                id: &id,
+                rt,
+            },
+            ranked,
+        );
     }
 
     /// Forwards the raw request line to the best live candidate shard,
     /// blocking while the in-flight window is full. Walks down the
     /// ranking as candidates fail to connect; a typed `shard_unavailable`
     /// error only once the whole replica set is exhausted.
-    fn forward(
-        &mut self,
-        index: u64,
-        candidates: Vec<usize>,
-        raw: &str,
-        key: Option<RouterKey>,
-        id: &Json,
-    ) {
+    fn forward(&mut self, req: &ForwardReq, candidates: Vec<usize>) {
         let primary = candidates[0];
         let mut remaining = candidates;
         loop {
             let Some(shard) = next_candidate(self.core(), &mut remaining) else {
                 unreachable!("forward always receives at least one candidate");
             };
-            match self.try_forward(index, shard, &remaining, raw, key, id) {
+            match self.try_forward(req, shard, &remaining) {
                 ForwardOutcome::Sent => {
                     if shard != primary {
                         // Dispatched away from its top rank — whether the
@@ -1556,12 +1809,15 @@ impl RouterSessionDriver {
                     if remaining.is_empty() {
                         let shard_id = self.core().topology.shards()[shard].id.clone();
                         self.local_error(
-                            index,
-                            id,
+                            req.index,
+                            req.id,
                             ErrorCode::ShardUnavailable,
                             &message,
                             Some(&shard_id),
                         );
+                        if let Some(rt) = &req.rt {
+                            close_req_trace(self.core(), rt);
+                        }
                         return;
                     }
                 }
@@ -1572,12 +1828,9 @@ impl RouterSessionDriver {
     /// One forwarding attempt against one shard.
     fn try_forward(
         &mut self,
-        index: u64,
+        req: &ForwardReq,
         shard: usize,
         fallbacks: &[usize],
-        raw: &str,
-        key: Option<RouterKey>,
-        id: &Json,
     ) -> ForwardOutcome {
         let conn = match self.session.connection(shard) {
             Ok(conn) => conn,
@@ -1601,6 +1854,21 @@ impl RouterSessionDriver {
                 pending = wait_ok(&conn.space, pending);
             }
         }
+        // A traced forward opens its `dispatch` leg here and stamps the
+        // propagated context into the line it sends, so the shard's
+        // spans parent under this leg. Untraced lines are forwarded
+        // byte-for-byte.
+        let trace = req.rt.map(|rt| EntryTrace {
+            req: rt,
+            dispatch_span: trace::next_span_id(),
+            dispatch_parent: rt.ctx.span_id,
+            dispatch_us: trace::now_us(),
+            dispatch_at: Instant::now(),
+        });
+        let send = match &trace {
+            Some(t) => stamp_trace(req.raw, t.req.ctx.trace_id, t.dispatch_span),
+            None => req.raw.to_string(),
+        };
         // Enqueue *then* write, both under the stream lock, so the wire
         // order always equals the pending order (what a replay resends).
         // The dead-check happens under the pending lock, mirroring the
@@ -1619,12 +1887,14 @@ impl RouterSessionDriver {
                 ));
             }
             pending.push_back(PendingEntry {
-                index,
-                raw: raw.to_string(),
-                key,
-                id: id.clone(),
+                index: req.index,
+                raw: send.clone(),
+                key: req.key,
+                id: req.id.clone(),
                 fallbacks: fallbacks.to_vec(),
                 enqueued: Instant::now(),
+                started: req.rt.map_or_else(Instant::now, |rt| rt.started),
+                trace,
             });
             self.session
                 .slots
@@ -1635,7 +1905,7 @@ impl RouterSessionDriver {
         }
         let mut w = &*stream;
         let write_ok =
-            w.write_all(raw.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok();
+            w.write_all(send.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok();
         drop(stream);
         if !write_ok {
             // Poke the reader: shut the read half down so it stops
@@ -1711,6 +1981,17 @@ impl Drop for RouterSessionDriver {
     }
 }
 
+/// One client request on its way to a shard: the session index, the
+/// line to forward, the router-cache key, the echoed id, and the
+/// optional trace handle.
+struct ForwardReq<'a> {
+    index: u64,
+    raw: &'a str,
+    key: Option<RouterKey>,
+    id: &'a Json,
+    rt: Option<ReqTrace>,
+}
+
 /// Result of one forwarding attempt.
 enum ForwardOutcome {
     /// Enqueued and written (or poked for replay) — the request will be
@@ -1779,6 +2060,37 @@ mod tests {
         assert_eq!(next_candidate(core, &mut fallbacks), Some(1));
         assert_eq!(next_candidate(core, &mut fallbacks), Some(0));
         assert_eq!(next_candidate(core, &mut fallbacks), None);
+    }
+
+    #[test]
+    fn stamp_trace_inserts_or_replaces_the_trace_field() {
+        let raw = r#"{"op":"partition","id":7,"matrix":{"rows":1,"cols":1,"entries":[[0,0]]}}"#;
+        let stamped = stamp_trace(raw, 0xabc, 0x123);
+        let doc = Json::parse(&stamped).expect("stamped line parses");
+        let t = doc.get("trace").expect("trace field present");
+        assert_eq!(
+            t.get("id").and_then(Json::as_str),
+            Some("00000000000000000000000000000abc")
+        );
+        assert_eq!(
+            t.get("parent").and_then(Json::as_str),
+            Some("0000000000000123")
+        );
+        // Everything else survives the re-render.
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        // Restamping (the failover path) replaces, never duplicates.
+        let restamped = stamp_trace(&stamped, 0xabc, 0x456);
+        let doc = Json::parse(&restamped).expect("restamped line parses");
+        let Json::Obj(fields) = &doc else {
+            panic!("object")
+        };
+        assert_eq!(fields.iter().filter(|(k, _)| k == "trace").count(), 1);
+        assert_eq!(
+            doc.get("trace")
+                .and_then(|t| t.get("parent"))
+                .and_then(Json::as_str),
+            Some("0000000000000456")
+        );
     }
 
     #[test]

@@ -580,6 +580,9 @@ pub fn decode_partition_payload(body: &[u8]) -> Result<Request, RequestError> {
         }),
         shard: None,
         codec: None,
+        // The binary frame schema carries no trace field; tracing rides
+        // the JSON-lines codec only.
+        trace: None,
     })
 }
 
@@ -635,6 +638,13 @@ pub fn request_json_line(request: &Request) -> String {
             }
             if spec.include_partition {
                 fields.push(("include_partition", Json::Bool(true)));
+            }
+            if let Some(trace) = request.trace {
+                let mut tf = vec![("id", Json::Str(mg_obs::trace::trace_id_hex(trace.trace_id)))];
+                if let Some(parent) = trace.parent {
+                    tf.push(("parent", Json::Str(mg_obs::trace::span_id_hex(parent))));
+                }
+                fields.push(("trace", obj(tf)));
             }
         }
         RequestOp::Ping => fields.push(("op", Json::Str("ping".into()))),

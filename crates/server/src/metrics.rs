@@ -7,7 +7,7 @@
 //! services in one process — tests, the router harness — share this
 //! registry).
 
-use mg_obs::{registry, Counter, Gauge};
+use mg_obs::{registry, Counter, Gauge, Histogram, PHASE_BOUNDS};
 use std::sync::OnceLock;
 
 pub(crate) struct ServerMetrics {
@@ -44,6 +44,14 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
 /// Per-op request counter (`op="partition"|"ping"|...`).
 pub(crate) fn op_counter(op: &'static str) -> Counter {
     registry().counter("mgpart_requests_op_total", &[("op", op)])
+}
+
+/// End-to-end request latency histogram (`op="partition"|"ping"|...`):
+/// unit decode through response encode, measured at delivery. Shares the
+/// phase bucket ladder (10 µs … 10 s) so per-phase and per-request
+/// latencies read on one scale.
+pub(crate) fn request_seconds(op: &'static str) -> Histogram {
+    registry().histogram("mgpart_request_seconds", &[("op", op)], PHASE_BOUNDS)
 }
 
 /// Counts request payload bytes by wire codec (`json` or `binary`).

@@ -32,6 +32,11 @@ pub struct Request {
     /// "hello","codec":"binary"}`); `None` on a bare hello means "stay
     /// on JSON lines". Only present when `op == Hello`.
     pub codec: Option<WireCodec>,
+    /// Propagated trace context (`{"trace":{"id":"…32 hex…","parent":
+    /// "…16 hex…"}}`), only on partition requests. Tracing is strictly
+    /// out-of-band: the field never changes response bytes (see
+    /// PROTOCOL.md § Tracing).
+    pub trace: Option<mg_obs::WireTrace>,
 }
 
 /// A request that failed to decode: the (best-effort) id to echo plus the
@@ -146,6 +151,17 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             ))
         }
     };
+    let trace = match doc.get("trace") {
+        None => None,
+        Some(v) if op == RequestOp::Partition => Some(parse_trace_field(&id, v)?),
+        Some(_) => {
+            return Err(RequestError::new(
+                &id,
+                ErrorCode::BadRequest,
+                "\"trace\" only applies to partition requests",
+            ))
+        }
+    };
     if op != RequestOp::Partition {
         return Ok(Request {
             id,
@@ -153,6 +169,7 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
             spec: None,
             shard,
             codec,
+            trace: None,
         });
     }
 
@@ -243,7 +260,56 @@ pub fn parse_request_line(line: &str) -> Result<Request, RequestError> {
         }),
         shard: None,
         codec: None,
+        trace,
     })
+}
+
+/// Decodes the `trace` request field: an object with a mandatory 32-hex
+/// `id` and an optional 16-hex `parent`. The field only carries
+/// diagnostic identity, so validation is strict but the values never
+/// reach a response.
+fn parse_trace_field(id: &Json, v: &Json) -> Result<mg_obs::WireTrace, RequestError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(RequestError::new(
+            id,
+            ErrorCode::BadRequest,
+            "\"trace\" must be an object",
+        ));
+    }
+    let trace_id = match v.get("id") {
+        Some(Json::Str(s)) => mg_obs::trace::parse_trace_id(s).ok_or_else(|| {
+            RequestError::new(
+                id,
+                ErrorCode::BadRequest,
+                "\"trace.id\" must be 32 lowercase hex chars",
+            )
+        })?,
+        _ => {
+            return Err(RequestError::new(
+                id,
+                ErrorCode::BadRequest,
+                "\"trace\" needs a string \"id\" field",
+            ))
+        }
+    };
+    let parent = match v.get("parent") {
+        None => None,
+        Some(Json::Str(s)) => Some(mg_obs::trace::parse_span_id(s).ok_or_else(|| {
+            RequestError::new(
+                id,
+                ErrorCode::BadRequest,
+                "\"trace.parent\" must be 16 lowercase hex chars",
+            )
+        })?),
+        Some(_) => {
+            return Err(RequestError::new(
+                id,
+                ErrorCode::BadRequest,
+                "\"trace.parent\" must be a string",
+            ))
+        }
+    };
+    Ok(mg_obs::WireTrace { trace_id, parent })
 }
 
 fn decode_matrix(id: &Json, field: Option<&Json>) -> Result<MatrixPayload, RequestError> {
@@ -535,6 +601,50 @@ mod tests {
                 cols: 2,
                 entries: vec![(0, 0), (1, 1)]
             }
+        );
+    }
+
+    #[test]
+    fn decodes_and_validates_the_trace_field() {
+        let tid = "00112233445566778899aabbccddeeff";
+        let line = format!(
+            r#"{{"id":1,"matrix":{{"rows":2,"cols":2,"entries":[[0,0],[1,1]]}},"trace":{{"id":"{tid}","parent":"0011223344556677"}}}}"#
+        );
+        let r = parse_request_line(&line).unwrap();
+        let trace = r.trace.expect("trace field decodes");
+        assert_eq!(trace.trace_id, 0x0011_2233_4455_6677_8899_aabb_ccdd_eeff);
+        assert_eq!(trace.parent, Some(0x0011_2233_4455_6677));
+
+        // `parent` is optional.
+        let line = format!(
+            r#"{{"matrix":{{"rows":1,"cols":1,"entries":[[0,0]]}},"trace":{{"id":"{tid}"}}}}"#
+        );
+        assert_eq!(
+            parse_request_line(&line).unwrap().trace,
+            Some(mg_obs::WireTrace {
+                trace_id: 0x0011_2233_4455_6677_8899_aabb_ccdd_eeff,
+                parent: None
+            })
+        );
+
+        // Malformed ids, wrong shapes, and misplaced fields are typed errors.
+        for bad in [
+            r#"{"matrix":{"rows":1,"cols":1,"entries":[[0,0]]},"trace":"abc"}"#.to_string(),
+            r#"{"matrix":{"rows":1,"cols":1,"entries":[[0,0]]},"trace":{"id":"xyz"}}"#.to_string(),
+            format!(
+                r#"{{"matrix":{{"rows":1,"cols":1,"entries":[[0,0]]}},"trace":{{"id":"{tid}","parent":7}}}}"#
+            ),
+            format!(r#"{{"op":"ping","trace":{{"id":"{tid}"}}}}"#),
+        ] {
+            let e = parse_request_line(&bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "line: {bad}");
+        }
+        let e = parse_request_line(&format!(r#"{{"op":"ping","trace":{{"id":"{tid}"}}}}"#))
+            .unwrap_err();
+        assert!(
+            e.message.contains("only applies to partition"),
+            "{}",
+            e.message
         );
     }
 

@@ -35,17 +35,18 @@
 use crate::cache::LruCache;
 use crate::codec::{self, UnitKind, UnitScanner, WireCodec};
 use crate::json::Json;
-use crate::metrics::{bytes_in, bytes_out, op_counter, server_metrics};
+use crate::metrics::{bytes_in, bytes_out, op_counter, request_seconds, server_metrics};
 use crate::protocol;
 use mg_collection::{generate, job_seed, run_batch_ordered, worker_count, CollectionSpec};
 use mg_core::service::{matrix_fingerprint, ErrorCode, MatrixPayload, PartitionOutcome, RequestOp};
 use mg_core::{parse_backend, Method, PartitionBackend, DEFAULT_BACKEND};
+use mg_obs::trace::{self, TraceContext};
 use mg_sparse::{load_imbalance, Coo};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -75,6 +76,11 @@ pub struct ServiceConfig {
     /// router can attribute them. `None` (the default) leaves every
     /// response byte-identical to an untagged server.
     pub shard_id: Option<String>,
+    /// Slow-request trace sampler (`--trace-slow-ms N`): partition
+    /// requests without a client-stamped trace get a speculative trace
+    /// that is kept only when end-to-end latency reaches the threshold.
+    /// `None` disables sampling; explicit `trace` fields always record.
+    pub trace_slow: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +95,7 @@ impl Default for ServiceConfig {
             collection: CollectionSpec::default(),
             timing: false,
             shard_id: None,
+            trace_slow: None,
         }
     }
 }
@@ -114,12 +121,63 @@ type CacheKey = (u64, &'static str, Method, u64, u64, bool);
 /// Completion callback: `(outcome, cached, compute_seconds)`.
 type Deliver = Box<dyn FnOnce(Arc<PartitionOutcome>, bool, f64) + Send>;
 
+/// One queued job as handed to the ordered batch pool: cache key,
+/// resolved backend, matrix, and the optional trace handle.
+type JobSpec = (
+    CacheKey,
+    &'static dyn PartitionBackend,
+    Arc<Coo>,
+    Option<JobTrace>,
+);
+
+/// Wall-clock anchors of one request unit, captured before decode so
+/// traced requests can report `decode` and end-to-end durations.
+#[derive(Clone, Copy)]
+struct UnitStart {
+    /// `trace::now_us()` at unit start (span timestamps).
+    sys_us: u64,
+    /// Monotonic twin of `sys_us` (span durations).
+    at: Instant,
+}
+
+impl UnitStart {
+    fn now() -> UnitStart {
+        UnitStart {
+            sys_us: trace::now_us(),
+            at: Instant::now(),
+        }
+    }
+}
+
+/// Trace identity of one request: the server-side root span context
+/// (the `request` span; `decode`/`queue_wait`/`execute`/`encode` are its
+/// children) and whether it came from the slow sampler rather than a
+/// client-stamped `trace` field.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    ctx: TraceContext,
+    speculative: bool,
+}
+
+/// Trace identity of a queued job's primary: the request's root span
+/// (`queue_wait` and `execute` record under it) plus when it queued.
+#[derive(Clone, Copy)]
+struct JobTrace {
+    ctx: TraceContext,
+    queued_us: u64,
+    queued_at: Instant,
+}
+
 struct EngineJob {
     key: CacheKey,
     /// Resolved once at submission; workers never re-parse the name.
     backend: &'static dyn PartitionBackend,
     matrix: Arc<Coo>,
     deliver: Deliver,
+    /// Present when the primary request is traced: workers record
+    /// `queue_wait`/`execute` spans and install the context so phase
+    /// timers nest under `execute`.
+    trace: Option<JobTrace>,
 }
 
 /// Name → matrix map of the lazily generated collection.
@@ -167,6 +225,7 @@ impl Engine {
         backend: &'static dyn PartitionBackend,
         matrix: Arc<Coo>,
         deliver: Deliver,
+        trace: Option<JobTrace>,
     ) -> SubmitOutcome {
         let mut inner = self.lock();
         loop {
@@ -193,6 +252,7 @@ impl Engine {
                 backend,
                 matrix,
                 deliver,
+                trace,
             });
             server_metrics().queue_depth.set(inner.queue.len() as u64);
             self.work.notify_all();
@@ -302,10 +362,9 @@ fn dispatcher_loop(engine: &Engine) {
         engine.space.notify_all();
 
         let mut delivers: Vec<Option<Deliver>> = Vec::with_capacity(batch.len());
-        let mut specs: Vec<(CacheKey, &'static dyn PartitionBackend, Arc<Coo>)> =
-            Vec::with_capacity(batch.len());
+        let mut specs: Vec<JobSpec> = Vec::with_capacity(batch.len());
         for job in batch {
-            specs.push((job.key, job.backend, job.matrix));
+            specs.push((job.key, job.backend, job.matrix, job.trace));
             delivers.push(Some(job.deliver));
         }
         let threads = worker_count(engine.config.threads).min(specs.len()).max(1);
@@ -315,8 +374,22 @@ fn dispatcher_loop(engine: &Engine) {
             specs.len(),
             threads,
             |i| {
-                let ((fingerprint, _, method, eps_bits, _, _), backend, matrix) = &specs[i];
+                let ((fingerprint, _, method, eps_bits, _, _), backend, matrix, job_trace) =
+                    &specs[i];
                 let seed = seed_of(&specs[i].0);
+                // Traced jobs: queue_wait ran from submission to now, and
+                // execute gets its own span installed thread-locally so
+                // the partitioner's phase timers record as its children.
+                let exec_span = job_trace.map(|jt| {
+                    trace::record_child(
+                        &jt.ctx,
+                        "queue_wait",
+                        jt.queued_us,
+                        jt.queued_at.elapsed(),
+                    );
+                    (jt.ctx.child(), trace::now_us())
+                });
+                let _scope = exec_span.map(|(ctx, _)| trace::enter(ctx));
                 let start = Instant::now();
                 let outcome = execute(
                     matrix,
@@ -326,7 +399,19 @@ fn dispatcher_loop(engine: &Engine) {
                     seed,
                     *fingerprint,
                 );
-                (outcome, start.elapsed().as_secs_f64())
+                let elapsed = start.elapsed();
+                drop(_scope);
+                if let Some((ctx, start_us)) = exec_span {
+                    trace::record_span(
+                        ctx.trace_id,
+                        ctx.span_id,
+                        ctx.parent_id,
+                        "execute",
+                        start_us,
+                        elapsed,
+                    );
+                }
+                (outcome, elapsed.as_secs_f64())
             },
             |i, (outcome, secs)| {
                 let outcome = Arc::new(outcome);
@@ -786,14 +871,15 @@ impl SessionDriver<'_> {
     /// binary frame payload. Returns `false` when the session should stop
     /// reading (an in-band `shutdown`).
     pub fn handle_unit(&mut self, kind: UnitKind, bytes: &[u8]) -> bool {
+        let t0 = UnitStart::now();
         match kind {
             UnitKind::Line => {
                 bytes_in("json", bytes.len() as u64);
-                self.handle_text(bytes)
+                self.handle_text(bytes, t0)
             }
             UnitKind::Frame => {
                 bytes_in("binary", bytes.len() as u64);
-                self.handle_frame(bytes)
+                self.handle_frame(bytes, t0)
             }
         }
     }
@@ -813,9 +899,9 @@ impl SessionDriver<'_> {
         self.fail(index, &Json::Null, ErrorCode::BadRequest, message);
     }
 
-    fn handle_text(&mut self, bytes: &[u8]) -> bool {
+    fn handle_text(&mut self, bytes: &[u8], t0: UnitStart) -> bool {
         match std::str::from_utf8(bytes) {
-            Ok(text) => self.handle_line(text.trim_end_matches('\r')),
+            Ok(text) => self.handle_line_at(text.trim_end_matches('\r'), t0),
             Err(_) => {
                 // Non-UTF-8 request bytes get a typed error, never a
                 // lossily mangled parse.
@@ -831,18 +917,18 @@ impl SessionDriver<'_> {
         }
     }
 
-    fn handle_frame(&mut self, payload: &[u8]) -> bool {
+    fn handle_frame(&mut self, payload: &[u8], t0: UnitStart) -> bool {
         match payload.split_first() {
             None => {
                 let index = self.begin();
                 self.fail(index, &Json::Null, ErrorCode::BadRequest, "empty frame");
                 true
             }
-            Some((&codec::KIND_JSON, body)) => self.handle_text(body),
+            Some((&codec::KIND_JSON, body)) => self.handle_text(body, t0),
             Some((&codec::KIND_PARTITION, body)) => {
                 let index = self.begin();
                 match codec::decode_partition_payload(body) {
-                    Ok(request) => self.dispatch(index, request),
+                    Ok(request) => self.dispatch(index, request, t0),
                     Err(e) => {
                         self.fail(index, &e.id, e.code, &e.message);
                         true
@@ -852,7 +938,7 @@ impl SessionDriver<'_> {
             Some((&codec::KIND_BATCH, body)) => match codec::batch_subframes(body) {
                 Ok(subs) => {
                     for sub in subs {
-                        if !self.handle_frame(&body[sub]) {
+                        if !self.handle_frame(&body[sub], t0) {
                             return false;
                         }
                     }
@@ -881,13 +967,17 @@ impl SessionDriver<'_> {
     /// session should stop reading (an in-band `shutdown`). Blank lines
     /// are skipped without a response.
     pub fn handle_line(&mut self, raw: &str) -> bool {
+        self.handle_line_at(raw, UnitStart::now())
+    }
+
+    fn handle_line_at(&mut self, raw: &str, t0: UnitStart) -> bool {
         let line = raw.trim();
         if line.is_empty() {
             return true;
         }
         let index = self.begin();
         match protocol::parse_request_line(line) {
-            Ok(request) => self.dispatch(index, request),
+            Ok(request) => self.dispatch(index, request, t0),
             Err(e) => {
                 self.fail(index, &e.id, e.code, &e.message);
                 true
@@ -895,12 +985,13 @@ impl SessionDriver<'_> {
         }
     }
 
-    fn dispatch(&mut self, index: u64, request: protocol::Request) -> bool {
+    fn dispatch(&mut self, index: u64, request: protocol::Request, t0: UnitStart) -> bool {
         match request.op {
             RequestOp::Ping => {
                 op_counter("ping").inc();
                 self.shared
                     .set(index, protocol::op_response(&request.id, "ping"));
+                request_seconds("ping").observe(t0.at.elapsed().as_secs_f64());
                 true
             }
             RequestOp::Stats => {
@@ -919,6 +1010,7 @@ impl SessionDriver<'_> {
                         sessions: self.service.engine.sessions.load(Ordering::SeqCst),
                     },
                 );
+                request_seconds("stats").observe(t0.at.elapsed().as_secs_f64());
                 true
             }
             RequestOp::Shutdown => {
@@ -940,7 +1032,7 @@ impl SessionDriver<'_> {
             RequestOp::Partition => {
                 op_counter("partition").inc();
                 let spec = request.spec.expect("partition requests carry a spec");
-                self.submit_partition(index, request.id, spec);
+                self.submit_partition(index, request.id, spec, request.trace, t0);
                 true
             }
         }
@@ -950,7 +1042,14 @@ impl SessionDriver<'_> {
         self.service.engine.config.shard_id.as_deref()
     }
 
-    fn submit_partition(&mut self, index: u64, id: Json, spec: mg_core::service::PartitionSpec) {
+    fn submit_partition(
+        &mut self,
+        index: u64,
+        id: Json,
+        spec: mg_core::service::PartitionSpec,
+        wire_trace: Option<mg_obs::WireTrace>,
+        t0: UnitStart,
+    ) {
         let engine = &self.service.engine;
         let matrix = match engine.resolve_matrix(&spec.matrix) {
             Ok(matrix) => matrix,
@@ -961,6 +1060,7 @@ impl SessionDriver<'_> {
                     index,
                     protocol::error_response(&id, code, &message, self.shard()),
                 );
+                request_seconds("partition").observe(t0.at.elapsed().as_secs_f64());
                 return;
             }
         };
@@ -979,6 +1079,36 @@ impl SessionDriver<'_> {
             spec.include_partition,
         );
 
+        // Trace identity of this request, if any: a client-stamped trace
+        // records directly; the slow sampler opens a speculative one that
+        // only survives if the request proves slow. Either way the root
+        // `request` span covers decode through encode, and the `trace`
+        // field has already been stripped from everything that shapes
+        // response bytes (the key, the spec, the encoders).
+        let trace_slow = engine.config.trace_slow;
+        let req_trace: Option<ReqTrace> = match wire_trace {
+            Some(w) => Some(ReqTrace {
+                ctx: TraceContext {
+                    trace_id: w.trace_id,
+                    span_id: trace::next_span_id(),
+                    parent_id: w.parent,
+                },
+                speculative: false,
+            }),
+            None => trace_slow.map(|_| ReqTrace {
+                ctx: trace::collector().begin_speculative(),
+                speculative: true,
+            }),
+        };
+        if let Some(rt) = &req_trace {
+            trace::record_child(&rt.ctx, "decode", t0.sys_us, t0.at.elapsed());
+        }
+        let job_trace = req_trace.map(|rt| JobTrace {
+            ctx: rt.ctx,
+            queued_us: trace::now_us(),
+            queued_at: Instant::now(),
+        });
+
         let shared = self.shared.clone();
         let include_partition = spec.include_partition;
         let timing = engine.config.timing;
@@ -990,14 +1120,38 @@ impl SessionDriver<'_> {
         let deliver: Deliver = Box::new(move |outcome, cached, secs| {
             shared.outstanding.fetch_sub(1, Ordering::SeqCst);
             let time_ms = timing.then_some(secs * 1000.0);
+            let encode_start = req_trace
+                .as_ref()
+                .map(|_| (trace::now_us(), Instant::now()));
             let line =
                 protocol::ok_response(&deliver_id, &outcome, cached, include_partition, time_ms);
+            let total = t0.at.elapsed();
+            if let Some(rt) = &req_trace {
+                let (enc_us, enc_at) = encode_start.expect("captured with the trace");
+                trace::record_child(&rt.ctx, "encode", enc_us, enc_at.elapsed());
+                trace::record_span(
+                    rt.ctx.trace_id,
+                    rt.ctx.span_id,
+                    rt.ctx.parent_id,
+                    "request",
+                    t0.sys_us,
+                    total,
+                );
+                if rt.speculative {
+                    if trace_slow.is_some_and(|threshold| total >= threshold) {
+                        trace::collector().commit(rt.ctx.trace_id);
+                    } else {
+                        trace::collector().discard(rt.ctx.trace_id);
+                    }
+                }
+            }
+            request_seconds("partition").observe(total.as_secs_f64());
             // Tag freshly computed lines with their backend so the writer
             // can tally per-backend completions for deferred stats slots.
             shared.set_computed(index, line, (!cached).then_some(outcome.backend));
         });
 
-        match engine.submit(key, backend, matrix, deliver) {
+        match engine.submit(key, backend, matrix, deliver, job_trace) {
             SubmitOutcome::CacheHit | SubmitOutcome::Follower => {
                 self.summary.cache_hits += 1;
                 server_metrics().cache_hits.inc();
@@ -1008,6 +1162,11 @@ impl SessionDriver<'_> {
             }
             SubmitOutcome::Rejected => {
                 // The deliver callback never runs for rejected jobs.
+                if let Some(rt) = &req_trace {
+                    if rt.speculative {
+                        trace::collector().discard(rt.ctx.trace_id);
+                    }
+                }
                 self.shared.outstanding.fetch_sub(1, Ordering::SeqCst);
                 self.summary.errors += 1;
                 server_metrics().errors.inc();

@@ -1,0 +1,103 @@
+//! The tracing byte-determinism carve-out (PROTOCOL.md § Tracing): a
+//! session mixing traced and untraced requests must produce exactly the
+//! response bytes of the untraced session — the `trace` field never
+//! reaches an encoder, the cache key, or the coalescing logic. Replays
+//! the checked-in smoke script with trace contexts stamped onto a
+//! subset of its lines and requires the untouched golden stream at
+//! 1/2/4 worker threads, with and without the slow-request sampler.
+
+use mg_collection::{CollectionScale, CollectionSpec};
+use mg_server::{Json, Service, ServiceConfig};
+use std::time::Duration;
+
+const REQUESTS: &str = include_str!("data/smoke_requests.jsonl");
+const GOLDEN: &str = include_str!("data/smoke_golden.jsonl");
+
+fn cli_default_config(threads: usize, trace_slow: Option<Duration>) -> ServiceConfig {
+    ServiceConfig {
+        threads,
+        collection: CollectionSpec {
+            seed: 11,
+            scale: CollectionScale::Smoke,
+        },
+        trace_slow,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The smoke script with a trace context stamped onto every other line
+/// (and a parent span on every fourth): same requests, same order, so
+/// the response stream must not move by a byte.
+fn mixed_script() -> String {
+    let mut out = String::new();
+    for (at, line) in REQUESTS.lines().enumerate() {
+        if at % 2 == 0 {
+            let mut doc = Json::parse(line).expect("smoke request lines parse");
+            let Json::Obj(fields) = &mut doc else {
+                panic!("smoke request lines are objects");
+            };
+            let mut trace = vec![(
+                "id".to_string(),
+                Json::Str(format!("{:032x}", at as u128 + 0xabc)),
+            )];
+            if at % 4 == 0 {
+                trace.push((
+                    "parent".to_string(),
+                    Json::Str(format!("{:016x}", at as u64 + 0x1111)),
+                ));
+            }
+            fields.push(("trace".to_string(), Json::Obj(trace)));
+            doc.write(&mut out);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn traced_requests_leave_the_golden_stream_byte_identical() {
+    let mixed = mixed_script();
+    assert_ne!(mixed, REQUESTS, "the script must actually stamp traces");
+    // Sampler off, sampler keep-everything, sampler keep-slow-only: the
+    // response bytes must not depend on any of it.
+    let samplers = [None, Some(Duration::ZERO), Some(Duration::from_secs(3600))];
+    for threads in [1usize, 2, 4] {
+        for trace_slow in samplers {
+            let service = Service::start(cli_default_config(threads, trace_slow));
+            let mut out = Vec::new();
+            let summary = service.run_session(mixed.as_bytes(), &mut out);
+            assert_eq!(summary.responses, 5);
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                GOLDEN,
+                "tracing must stay out-of-band: stamping trace contexts \
+                 changed the response stream (threads={threads}, \
+                 trace_slow={trace_slow:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_subset_matches_in_a_mixed_session() {
+    // The narrower phrasing of the same contract: the responses of the
+    // *untraced* lines in the mixed session are byte-for-byte the
+    // responses those lines get in a fully untraced session.
+    let mixed = mixed_script();
+    let service = Service::start(cli_default_config(2, None));
+    let mut mixed_out = Vec::new();
+    service.run_session(mixed.as_bytes(), &mut mixed_out);
+    let mixed_lines: Vec<&str> = std::str::from_utf8(&mixed_out).unwrap().lines().collect();
+    let golden_lines: Vec<&str> = GOLDEN.lines().collect();
+    assert_eq!(mixed_lines.len(), golden_lines.len());
+    for (at, (mixed_line, golden_line)) in mixed_lines.iter().zip(golden_lines.iter()).enumerate() {
+        if at % 2 != 0 {
+            assert_eq!(
+                mixed_line, golden_line,
+                "untraced request #{at} answered differently in the mixed session"
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests of the trace exporter (the satellite contract): for
+//! any well-formed span tree, the exported Chrome-trace-event document
+//! parses with the strict server-side JSON reader, every span's parent
+//! exists within the same trace, and child intervals nest inside their
+//! parent's interval.
+
+use mg_obs::trace::{render_trace_json, SpanRecord};
+use mg_server::Json;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Fixed name pool: span names are `&'static str` in the collector.
+const NAMES: [&str; 6] = [
+    "request", "route", "dispatch", "decode", "execute", "encode",
+];
+
+/// Builds a well-formed tree: node 0 is the root; every later node
+/// parents to an earlier one and its interval is squeezed inside the
+/// parent's. `picks` drives the shape: (parent choice, start fraction,
+/// length fraction).
+fn build_tree(trace_id: u128, picks: &[(usize, u8, u8)]) -> Vec<SpanRecord> {
+    let mut spans = vec![SpanRecord {
+        trace_id,
+        span_id: 1,
+        parent_id: None,
+        name: NAMES[0],
+        start_us: 1_000,
+        dur_us: 1_000_000,
+    }];
+    for (at, &(parent_pick, start_frac, len_frac)) in picks.iter().enumerate() {
+        let parent = spans[parent_pick % spans.len()].clone();
+        let offset = parent.dur_us * u64::from(start_frac % 100) / 200;
+        let start_us = parent.start_us + offset;
+        let headroom = parent.start_us + parent.dur_us - start_us;
+        let dur_us = headroom * (u64::from(len_frac % 100) + 1) / 100;
+        spans.push(SpanRecord {
+            trace_id,
+            span_id: at as u64 + 2,
+            parent_id: Some(parent.span_id),
+            name: NAMES[(at + 1) % NAMES.len()],
+            start_us,
+            dur_us,
+        });
+    }
+    spans
+}
+
+/// One exported `ph:"X"` event, decoded back out of the document.
+struct Exported {
+    trace: String,
+    span: String,
+    parent: Option<String>,
+    ts: u64,
+    dur: u64,
+}
+
+/// Parses the exported document with the strict reader and returns its
+/// complete-span events.
+fn decode_export(text: &str) -> Vec<Exported> {
+    let doc = Json::parse(text.trim()).expect("export parses with the strict JSON reader");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .map(|e| {
+            let args = e.get("args").expect("span events carry args");
+            let field = |key: &str| {
+                args.get(key)
+                    .and_then(Json::as_str)
+                    .map(std::string::ToString::to_string)
+            };
+            Exported {
+                trace: field("trace").expect("trace id"),
+                span: field("span").expect("span id"),
+                parent: field("parent"),
+                ts: e.get("ts").and_then(Json::as_u64).expect("ts"),
+                dur: e.get("dur").and_then(Json::as_u64).expect("dur"),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn exported_parents_exist_and_child_intervals_nest(
+        trace_id in 1u64..u64::MAX,
+        picks in proptest::collection::vec((0usize..64, any::<u8>(), any::<u8>()), 0..24),
+    ) {
+        let spans = build_tree(u128::from(trace_id), &picks);
+        let text = render_trace_json("proptest", &spans);
+        let exported = decode_export(&text);
+        prop_assert_eq!(exported.len(), spans.len());
+        // Index by (trace, span): ids must be unique.
+        let mut by_id: HashMap<(&str, &str), &Exported> = HashMap::new();
+        for e in &exported {
+            let clash = by_id.insert((e.trace.as_str(), e.span.as_str()), e);
+            prop_assert!(clash.is_none(), "duplicate span id {}", e.span);
+        }
+        for e in &exported {
+            let Some(parent_id) = &e.parent else { continue };
+            let parent = by_id.get(&(e.trace.as_str(), parent_id.as_str()));
+            prop_assert!(
+                parent.is_some(),
+                "span {} names parent {} not exported in trace {}",
+                e.span, parent_id, e.trace
+            );
+            let parent = parent.unwrap();
+            prop_assert!(
+                parent.ts <= e.ts && e.ts + e.dur <= parent.ts + parent.dur,
+                "child [{}, {}] escapes parent [{}, {}]",
+                e.ts, e.ts + e.dur, parent.ts, parent.ts + parent.dur
+            );
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_under_input_order(
+        trace_id in 1u64..u64::MAX,
+        picks in proptest::collection::vec((0usize..64, any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        let spans = build_tree(u128::from(trace_id), &picks);
+        let mut reversed = spans.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            render_trace_json("p", &spans),
+            render_trace_json("p", &reversed),
+            "exporter output must not depend on recording order"
+        );
+    }
+}
+
+#[test]
+fn export_parses_strictly_even_with_hostile_process_names() {
+    let spans = build_tree(42, &[(0, 10, 50)]);
+    let text = render_trace_json("weird \"name\"\twith\nescapes\\", &spans);
+    let doc = Json::parse(text.trim()).expect("escaped process name still parses");
+    let meta = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .and_then(|events| events.first())
+        .expect("metadata event first");
+    assert_eq!(
+        meta.get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str),
+        Some("weird \"name\"\twith\nescapes\\")
+    );
+}
+
+#[test]
+fn empty_collector_exports_a_valid_document() {
+    let text = render_trace_json("empty", &[]);
+    let doc = Json::parse(text.trim()).expect("empty export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents present");
+    assert_eq!(events.len(), 1, "only the process_name metadata event");
+}
